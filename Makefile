@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-full reproduce examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# paper-scale evaluation (hours of CPU; the paper ran 3600 s x 33 reps)
+bench-full:
+	REPRO_BENCH_DURATION=3600 REPRO_BENCH_REPS=33 $(PY) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PY) scripts/generate_experiments_md.py
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; REPRO_EXAMPLE_SCALE=0.2 $(PY) $$f; done
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

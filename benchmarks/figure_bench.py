@@ -1,0 +1,21 @@
+"""Common driver for the per-figure benchmarks."""
+
+from repro.experiments import render_checks, render_figure, run_figure, shape_checks
+
+
+def run_and_report(benchmark, exp_id, duration, reps, *, seed=0, required_checks=()):
+    """Regenerate ``exp_id`` under pytest-benchmark, print the series,
+    and assert the named shape checks hold."""
+    result = benchmark.pedantic(
+        lambda: run_figure(exp_id, duration=duration, reps=reps, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure(result))
+    print(render_checks(result))
+    checks = {c[0]: (c[1], c[2]) for c in shape_checks(result)}
+    for name in required_checks:
+        holds, detail = checks[name]
+        assert holds, f"shape expectation failed: {name} ({detail})"
+    return result

@@ -1,0 +1,57 @@
+"""Ablation: death/birth rate of nodes (§8 future work).
+
+Sweeps the churn rate under the Regular algorithm and reports the cost
+of reorganization: connect traffic per member (the re-configuration
+work) and query answer rate (the service the overlay still delivers).
+The paper's qualitative prediction: churn forces reorganization, which
+costs traffic; the overlay must keep working regardless.
+"""
+
+import numpy as np
+
+from repro.scenarios import ChurnProcess, ScenarioConfig, build_scenario
+
+from .conftest import env_duration
+
+RATES = (0.0, 0.01, 0.05)  # deaths per second network-wide
+
+
+def run_with_churn(rate: float, duration: float, seed: int = 81):
+    cfg = ScenarioConfig(num_nodes=50, duration=duration, algorithm="regular", seed=seed)
+    s = build_scenario(cfg)
+    churn = ChurnProcess(
+        s.sim, s.world, s.rng.stream("churn"), death_rate=rate, mean_downtime=60.0
+    )
+    s.overlay.start()
+    churn.start()
+    s.sim.run(until=duration)
+    records = s.overlay.query_records()
+    answered = sum(1 for r in records if r.answered)
+    return {
+        "rate": rate,
+        "deaths": churn.deaths,
+        "births": churn.births,
+        "connect_per_member": s.metrics.total("connect") / len(s.members),
+        "answer_rate": answered / len(records) if records else 0.0,
+        "queries": len(records),
+    }
+
+
+def test_churn_sweep(benchmark):
+    duration = env_duration(600.0)
+
+    def sweep():
+        return [run_with_churn(rate, duration) for rate in RATES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for r in rows:
+        print(
+            f"rate={r['rate']:.2f}/s deaths={r['deaths']:3d} births={r['births']:3d} "
+            f"connect/member={r['connect_per_member']:7.1f} "
+            f"answer_rate={r['answer_rate']:.2f} ({r['queries']} queries)"
+        )
+    # Deaths scale with the configured rate.
+    assert rows[0]["deaths"] == 0 < rows[1]["deaths"] <= rows[2]["deaths"] * 1.2
+    # The overlay keeps answering even at the highest churn.
+    assert rows[2]["answer_rate"] > 0.0

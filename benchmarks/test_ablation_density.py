@@ -1,0 +1,51 @@
+"""Ablation: node-density sweep (paper §8 future work).
+
+"We are most interested in analyzing the effects of ... density of
+nodes".  Sweeps the population on the fixed 100 m x 100 m area with the
+Regular algorithm and reports overlay degree, query answer rate and
+per-node traffic.  Expectation: a denser network finds files more often
+(more holders in TTL range) and builds a better-connected overlay.
+"""
+
+import numpy as np
+
+from repro.scenarios import ScenarioConfig, run_scenario
+
+from .conftest import env_duration
+
+DENSITIES = (30, 60, 90)
+
+
+def test_density_sweep(benchmark):
+    duration = env_duration(500.0)
+
+    def sweep():
+        rows = []
+        for n in DENSITIES:
+            res = run_scenario(
+                ScenarioConfig(num_nodes=n, duration=duration, algorithm="regular", seed=61)
+            )
+            answered = sum(s.answered for s in res.file_stats)
+            total_q = sum(s.queries for s in res.file_stats)
+            rate = answered / total_q if total_q else 0.0
+            rows.append(
+                {
+                    "nodes": n,
+                    "mean_degree": res.overlay_stats["mean_degree"],
+                    "answer_rate": rate,
+                    "connect_per_member": res.totals["connect"] / len(res.members),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for r in rows:
+        print(
+            f"n={r['nodes']:3d}  degree={r['mean_degree']:.2f}  "
+            f"answer_rate={r['answer_rate']:.2f}  connect/member={r['connect_per_member']:.0f}"
+        )
+    degrees = [r["mean_degree"] for r in rows]
+    rates = [r["answer_rate"] for r in rows]
+    assert degrees[-1] > degrees[0], "denser network should build a denser overlay"
+    assert rates[-1] > rates[0], "denser network should answer more queries"

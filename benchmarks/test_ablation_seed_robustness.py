@@ -1,0 +1,58 @@
+"""Ablation: are the headline orderings seed-robust?
+
+Every figure assertion in this suite is a single-seed (or few-seed)
+statement.  This bench quantifies robustness: it evaluates the two
+headline claims (Basic tops connect traffic; Basic tops ping traffic)
+across several seeds and reports the fraction of seeds where each
+ordering holds -- the number behind "the results show that the
+algorithms achieved their goals".
+"""
+
+from repro.experiments import ordering_stability
+from repro.scenarios import ScenarioConfig, run_scenario
+
+from .conftest import env_duration, env_reps
+
+SEEDS = tuple(range(5))
+
+
+def test_headline_orderings_across_seeds(benchmark):
+    duration = env_duration(400.0)
+
+    def evaluate():
+        cache = {}
+
+        def totals_for(seed):
+            if seed not in cache:
+                cache[seed] = {
+                    alg: run_scenario(
+                        ScenarioConfig(
+                            num_nodes=50, duration=duration, algorithm=alg, seed=seed
+                        )
+                    ).totals
+                    for alg in ("basic", "regular", "random", "hybrid")
+                }
+            return cache[seed]
+
+        connect = ordering_stability(
+            lambda seed: {a: t["connect"] for a, t in totals_for(seed).items()},
+            ("basic", "random", "regular"),
+            SEEDS,
+        )
+        ping = ordering_stability(
+            lambda seed: {a: t["ping"] for a, t in totals_for(seed).items()},
+            ("basic", "regular"),
+            SEEDS,
+        )
+        return connect, ping
+
+    connect, ping = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\nconnect ordering basic>=random>=regular: "
+          f"holds in {connect['fraction_holds']:.0%} of {int(connect['n'])} seeds "
+          f"(pairs: {connect['per_pair']})")
+    print(f"ping ordering basic>=regular: "
+          f"holds in {ping['fraction_holds']:.0%} of {int(ping['n'])} seeds")
+    # The headline claims must hold in a clear majority of seeds.
+    assert connect["per_pair"]["basic>=random"] >= 0.6
+    assert connect["per_pair"]["random>=regular"] >= 0.6
+    assert ping["fraction_holds"] >= 0.8

@@ -1,0 +1,19 @@
+"""Bench: Figure 10: ping messages received per node (150 nodes).
+
+Regenerates the paper's fig10 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_pings_150(benchmark, figure_settings_150):
+    duration, reps = figure_settings_150
+    run_and_report(
+        benchmark,
+        "fig10",
+        duration,
+        reps,
+        required_checks=['basic generates the most ping traffic (2x effect)'],
+    )

@@ -1,0 +1,19 @@
+"""Bench: Figure 11: query messages received per node (50 nodes).
+
+Regenerates the paper's fig11 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_queries_50(benchmark, figure_settings):
+    duration, reps = figure_settings
+    run_and_report(
+        benchmark,
+        "fig11",
+        duration,
+        reps,
+        required_checks=[],
+    )

@@ -1,0 +1,19 @@
+"""Bench: Figure 5: avg min distance + answers per request (50 nodes, 75% p2p).
+
+Regenerates the paper's fig5 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_distance_answers_50(benchmark, figure_settings):
+    duration, reps = figure_settings
+    run_and_report(
+        benchmark,
+        "fig5",
+        duration,
+        reps,
+        required_checks=[],
+    )

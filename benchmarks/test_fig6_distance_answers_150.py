@@ -1,0 +1,19 @@
+"""Bench: Figure 6: avg min distance + answers per request (150 nodes, 75% p2p).
+
+Regenerates the paper's fig6 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_distance_answers_150(benchmark, figure_settings_150):
+    duration, reps = figure_settings_150
+    run_and_report(
+        benchmark,
+        "fig6",
+        duration,
+        reps,
+        required_checks=[],
+    )

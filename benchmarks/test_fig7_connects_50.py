@@ -1,0 +1,19 @@
+"""Bench: Figure 7: connect messages received per node (50 nodes).
+
+Regenerates the paper's fig7 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_connects_50(benchmark, figure_settings):
+    duration, reps = figure_settings
+    run_and_report(
+        benchmark,
+        "fig7",
+        duration,
+        reps,
+        required_checks=['basic generates the most connect traffic', 'random sits above regular (long-range TTLs)'],
+    )

@@ -1,0 +1,19 @@
+"""Bench: Figure 8: connect messages received per node (150 nodes).
+
+Regenerates the paper's fig8 series at a scaled horizon (see
+benchmarks/conftest.py for the paper-scale knobs) and asserts the
+figure's qualitative shape.
+"""
+
+from .figure_bench import run_and_report
+
+
+def test_connects_150(benchmark, figure_settings_150):
+    duration, reps = figure_settings_150
+    run_and_report(
+        benchmark,
+        "fig8",
+        duration,
+        reps,
+        required_checks=['basic generates the most connect traffic'],
+    )

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These are classic pytest-benchmark timings (many rounds) of the three
+operations DESIGN.md §5 identifies as performance-critical: vectorized
+position evaluation, the O(n^2) adjacency snapshot, and the vectorized
+BFS.  They exist to catch performance regressions, not paper claims.
+"""
+
+import numpy as np
+
+from repro.mobility import Area, RandomWaypoint
+from repro.net import World
+from repro.sim import Simulator
+
+
+def make_world(n=150, seed=0):
+    sim = Simulator()
+    mobility = RandomWaypoint(n, Area(100, 100), np.random.default_rng(seed))
+    return sim, World(sim, mobility, radio_range=10.0)
+
+
+def test_positions_evaluation(benchmark):
+    sim, world = make_world()
+    t = [0.0]
+
+    def step():
+        t[0] += 1.0
+        return world.mobility.positions(t[0])
+
+    result = benchmark(step)
+    assert result.shape == (150, 2)
+
+
+def test_adjacency_snapshot(benchmark):
+    sim, world = make_world()
+    t = [0.0]
+
+    def step():
+        # advance the clock so the cache cannot short-circuit
+        t[0] += 1.0
+        sim.schedule_at(t[0], lambda: None)
+        sim.run(until=t[0])
+        return world.adjacency()
+
+    adj = benchmark(step)
+    assert adj.shape == (150, 150)
+
+
+def test_bfs_all_distances(benchmark):
+    sim, world = make_world()
+    world.adjacency()
+
+    def bfs():
+        world._bfs.clear()
+        return world.hops_from(0)
+
+    d = benchmark(bfs)
+    assert len(d) == 150
+
+
+def test_kernel_event_throughput(benchmark):
+    def dispatch_10k():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 97) / 97.0, lambda: None)
+        sim.run()
+        return sim.events_dispatched
+
+    n = benchmark(dispatch_10k)
+    assert n == 10_000

@@ -1,0 +1,58 @@
+"""Bench: Table 1 -- topology taxonomy.
+
+Regenerates the paper's Table 1 from the encoded topology traits and
+verifies, on live (scaled) simulations, the two *testable* claims behind
+it: decentralized and hybrid overlays keep working when nodes die
+(fault-tolerant) and accept new members at runtime (extensible).
+"""
+
+import numpy as np
+
+from repro.experiments import render_table, table1_rows
+from repro.scenarios import ScenarioConfig, run_scenario
+
+from .conftest import env_duration
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Table 1. Topologies and their characteristics."))
+    header = rows[0]
+    assert header == ["", "Centralized", "Decentralized", "Hybrid"]
+    as_dict = {r[0]: dict(zip(header[1:], r[1:])) for r in rows[1:]}
+    # The paper's adoption criteria (§2): the two adopted classes are
+    # extensible and fault-tolerant; centralized is neither.
+    for topo in ("Decentralized", "Hybrid"):
+        assert as_dict["Extensible"][topo] == "yes"
+        assert as_dict["Fault-Tolerant"][topo] == "yes"
+    assert as_dict["Extensible"]["Centralized"] == "no"
+    assert as_dict["Fault-Tolerant"]["Centralized"] == "no"
+
+
+def test_fault_tolerance_claim_live(benchmark):
+    """Half the overlay dies mid-run; the survivors keep answering."""
+    duration = env_duration(300.0)
+    cfg = ScenarioConfig(num_nodes=40, duration=duration, algorithm="regular", seed=11)
+
+    def run():
+        from repro.scenarios import build_scenario
+
+        s = build_scenario(cfg)
+        s.overlay.start()
+        s.sim.run(until=duration / 2)
+        victims = s.members[: len(s.members) // 2]
+        for v in victims:
+            s.world.set_down(v)
+        s.sim.run(until=duration)
+        survivors = [m for m in s.members if m not in victims]
+        return [
+            r
+            for m in survivors
+            for r in s.overlay.servents[m].query_engine.records
+            if r.issued_at > duration / 2 and r.answered
+        ]
+
+    late_answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nanswered queries by survivors after the kill: {len(late_answers)}")
+    assert late_answers, "overlay did not survive losing half its members"

@@ -1,0 +1,29 @@
+"""Bench: Table 2 -- simulation parameters.
+
+Regenerates the parameter table from the live ScenarioConfig and asserts
+it matches the paper value-for-value (so the defaults can never drift).
+"""
+
+from repro.experiments import render_table, table2_rows
+
+
+PAPER_TABLE2 = {
+    "transmission range": "10 m",
+    "number of distinct searchable files": "20",
+    "frequency of the most popular file": "40%",
+    "NHOPS_INITIAL": "2 ad-hoc hops",
+    "MAXNHOPS": "6 ad-hoc hops",
+    "NHOPS (Basic Algorithm)": "6 ad-hoc hops",
+    "MAXDIST": "6 ad-hoc hops",
+    "MAXNCONN": "3",
+    "MAXNSLAVES": "3",
+    "TTL for queries": "6 p2p hops",
+}
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Table 2. Parameters used and their typical values."))
+    ours = dict(r for r in rows[1:])
+    assert ours == PAPER_TABLE2

@@ -1,0 +1,48 @@
+"""Bench: the Watts-Strogatz rewiring sweep (§6.1.2 / §8 theory study).
+
+Regenerates the classic WS curve the paper's Random algorithm is built
+on: normalized clustering and path length as the rewiring probability
+grows.  The small-world window -- path length collapsed, clustering
+intact -- must exist, and the measured values must track the closed-form
+references in repro.theory.predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    lattice_clustering,
+    lattice_pathlength,
+    nmw_pathlength,
+    rewiring_sweep,
+)
+
+N, K = 200, 8
+PS = (0.0, 0.01, 0.05, 0.1, 1.0)
+
+
+def test_rewiring_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: rewiring_sweep(n=N, k=K, ps=PS, reps=2, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{'p':>6} {'C(p)/C(0)':>10} {'L(p)/L(0)':>10} {'L(p)':>8} {'NMW pred':>9}")
+    for pt in points:
+        pred = nmw_pathlength(N, K, pt.p)
+        print(
+            f"{pt.p:6.3f} {pt.clustering_norm:10.3f} {pt.path_length_norm:10.3f} "
+            f"{pt.path_length:8.2f} {pred:9.2f}"
+        )
+    by_p = {pt.p: pt for pt in points}
+    # p=0 matches the closed forms.
+    assert by_p[0.0].clustering == pytest.approx(lattice_clustering(K), abs=1e-9)
+    assert by_p[0.0].path_length == pytest.approx(lattice_pathlength(N, K), rel=0.05)
+    # The small-world window: at p=0.05 path length has collapsed (<50%)
+    # while clustering survives (>60%).
+    assert by_p[0.05].path_length_norm < 0.5
+    assert by_p[0.05].clustering_norm > 0.6
+    # Monotone path-length collapse.
+    lens = [pt.path_length for pt in points]
+    assert all(a >= b * 0.95 for a, b in zip(lens, lens[1:]))

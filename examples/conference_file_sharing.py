@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Conference file sharing -- the paper's motivating scenario (§4).
+
+"Some examples are conventions or meetings, where people, for
+comfortableness, wish quickly exchanging of information."
+
+A hall full of attendees with phones/PDAs forms an ad-hoc network; 75 %
+of them run the p2p application and share slide decks (the Zipf-placed
+files).  We compare how the Basic baseline and the Regular algorithm
+serve the same room, looking at the two things an attendee cares about:
+
+* do my searches find the file? (answer rate, distance)
+* how fast does my battery drain? (radio energy per node)
+
+Run: ``python examples/conference_file_sharing.py``
+"""
+
+import numpy as np
+
+from repro.scenarios import ScenarioConfig, run_scenario
+
+import os
+
+
+def _scale(seconds: float) -> float:
+    """Scale example horizons via REPRO_EXAMPLE_SCALE (tests use ~0.1)."""
+    return seconds * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+
+def describe(alg: str, seed: int = 7) -> dict:
+    cfg = ScenarioConfig(
+        num_nodes=60,  # a mid-sized conference hall
+        area_width=80.0,  # a denser room than the paper's open field
+        area_height=80.0,
+        algorithm=alg,
+        duration=_scale(900.0),  # a 15-minute coffee break
+        max_pause=60.0,  # people linger in small groups
+        seed=seed,
+    )
+    res = run_scenario(cfg)
+    answered = sum(s.answered for s in res.file_stats)
+    total = sum(s.queries for s in res.file_stats)
+    dists = [s.avg_min_p2p_hops for s in res.file_stats if s.answered]
+    return {
+        "algorithm": alg,
+        "answer_rate": answered / total if total else 0.0,
+        "avg_min_distance": float(np.mean(dists)) if dists else float("nan"),
+        "energy_mean": float(res.energy.mean()),
+        "energy_worst": float(res.energy.max()),
+        "messages": res.totals,
+    }
+
+
+def main() -> None:
+    print("comparing reconfiguration algorithms for a 60-person conference hall\n")
+    rows = [describe(alg) for alg in ("basic", "regular")]
+    for r in rows:
+        print(f"--- {r['algorithm']} ---")
+        print(f"  search answer rate     : {r['answer_rate']:.0%}")
+        print(f"  avg distance to a hit  : {r['avg_min_distance']:.2f} p2p hops")
+        print(f"  mean battery drain     : {r['energy_mean'] * 1e3:.2f} mJ")
+        print(f"  worst battery drain    : {r['energy_worst'] * 1e3:.2f} mJ")
+        print(f"  messages received      : {r['messages']}")
+        print()
+
+    basic, regular = rows
+    saving = 1.0 - regular["energy_mean"] / basic["energy_mean"]
+    print(f"the Regular algorithm serves the same room with "
+          f"{saving:.0%} less mean radio energy per attendee,")
+    print("which is exactly the paper's argument for controlled reconfiguration.")
+
+
+if __name__ == "__main__":
+    main()

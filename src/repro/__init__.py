@@ -1,0 +1,38 @@
+"""repro -- reproduction of "Peer-to-Peer over Ad-hoc Networks:
+(Re)Configuration Algorithms" (Franciscani et al., IPDPS 2003).
+
+The package layers, bottom-up:
+
+* :mod:`repro.sim` -- discrete-event kernel, processes, RNG streams.
+* :mod:`repro.mobility` -- random-waypoint and other mobility models.
+* :mod:`repro.net` -- unit-disk radio world, packets, controlled
+  broadcast, energy accounting.
+* :mod:`repro.aodv` / :mod:`repro.routing` -- AODV and an ideal
+  shortest-path router.
+* :mod:`repro.core` -- the p2p overlay: connections, query engine,
+  Zipf file placement, and the paper's four (re)configuration
+  algorithms (Basic, Regular, Random, Hybrid).
+* :mod:`repro.metrics` -- per-message-type counters, small-world graph
+  analysis, multi-run aggregation.
+* :mod:`repro.scenarios` -- Table-2 scenario configuration, builder and
+  runner.
+* :mod:`repro.experiments` -- one entry per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ScenarioConfig", "run_scenario", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles for
+    # consumers that only need the substrate layers.
+    if name == "ScenarioConfig":
+        from .scenarios.config import ScenarioConfig
+
+        return ScenarioConfig
+    if name == "run_scenario":
+        from .scenarios.runner import run_scenario
+
+        return run_scenario
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,479 @@
+"""AODV protocol agents and the Router adapter.
+
+Implements the on-demand core of draft-ietf-manet-aodv-11 as used by the
+paper's simulations:
+
+* expanding-ring RREQ flooding with per-(origin, rreq_id) dedup — the
+  "controlled broadcast" cache the authors added to ns-2 is inherent
+  here: a node processes each RREQ id once;
+* reverse-route installation at every hop an RREQ crosses;
+* RREP generation by the destination (always) and by intermediate nodes
+  with a fresh-enough route (configurable), unicast back hop-by-hop;
+* data forwarding with route-lifetime refresh;
+* link-failure handling on transmission failure: invalidate routes via
+  the dead next hop, emit a one-hop RERR so neighbours drop their routes
+  through us, and re-discover if we are the data source.
+
+HELLO beacons (draft §6.9) are supported but off by default
+(``AodvConfig.hello_interval = 0``): link failure is then detected on
+use, which the unit-disk channel reports synchronously.  Remaining
+simplifications (documented in DESIGN.md): no precursor lists (RERRs
+are one-hop broadcasts) and no gratuitous RREPs.  None of these affect
+the message families the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.packet import Frame
+from ..net.radio import Channel, NetNode
+from ..sim.kernel import Simulator
+from ..routing.base import Router
+from .messages import SEQ_UNKNOWN, DataPacket, Hello, Rerr, Rrep, Rreq
+from .table import RouteTable
+
+__all__ = ["AodvConfig", "AodvAgent", "AodvRouter"]
+
+KIND_CTRL = "aodv.ctrl"
+KIND_DATA = "aodv.data"
+
+
+@dataclass(frozen=True)
+class AodvConfig:
+    """AODV constants (defaults follow draft-ietf-manet-aodv-11 §10).
+
+    ``net_diameter`` is sized for the paper's 100 m x 100 m / 10 m-range
+    world rather than the draft's 35.
+    """
+
+    active_route_timeout: float = 3.0
+    my_route_timeout: float = 6.0
+    node_traversal_time: float = 0.04
+    ttl_start: int = 2
+    ttl_increment: int = 2
+    ttl_threshold: int = 7
+    net_diameter: int = 20
+    rreq_retries: int = 2
+    #: max data packets buffered per destination awaiting a route
+    queue_per_dest: int = 16
+    #: whether intermediate nodes with fresh routes answer RREQs
+    intermediate_reply: bool = True
+    ctrl_size: int = 48
+    rerr_size: int = 20
+    #: HELLO beacon period (draft §6.9); 0 disables proactive link
+    #: sensing (links then break only when a transmission fails)
+    hello_interval: float = 0.0
+    #: HELLOs a neighbour may miss before the link is declared broken
+    allowed_hello_loss: int = 2
+    hello_size: int = 24
+
+    def ring_ttls(self) -> List[int]:
+        """The TTL sequence of the expanding-ring search + retries."""
+        ttls = []
+        ttl = self.ttl_start
+        while ttl < self.ttl_threshold:
+            ttls.append(ttl)
+            ttl += self.ttl_increment
+        ttls.append(self.net_diameter)
+        ttls.extend([self.net_diameter] * self.rreq_retries)
+        return ttls
+
+    def discovery_timeout(self, ttl: int) -> float:
+        """RREP wait time for a ring of radius ``ttl`` (2 x traversal)."""
+        return 2.0 * self.node_traversal_time * (ttl + 2)
+
+
+class AodvAgent:
+    """The AODV state machine of one node."""
+
+    def __init__(
+        self,
+        node: NetNode,
+        channel: Channel,
+        sim: Simulator,
+        config: AodvConfig,
+        deliver_up: Callable[[str, int, int, Any, int], None],
+    ) -> None:
+        self.node = node
+        self.nid = node.nid
+        self.channel = channel
+        self.sim = sim
+        self.cfg = config
+        self.deliver_up = deliver_up
+        self.table = RouteTable(self.nid)
+        self.seq = 0
+        self.rreq_id = 0
+        self._seen_rreqs: Set[Tuple[int, int]] = set()
+        # Pending discoveries: dest -> (queued packets, on_fail callbacks)
+        self._pending: Dict[int, List[Tuple[DataPacket, Optional[Callable[[Any], None]]]]] = {}
+        self._attempt: Dict[int, int] = {}
+        # Stats (ad-hoc-level overhead; used by the routing ablation)
+        self.rreq_sent = 0
+        self.rrep_sent = 0
+        self.rerr_sent = 0
+        self.hello_sent = 0
+        self.data_forwarded = 0
+        #: neighbour -> last time a HELLO (or any ctrl frame) was heard
+        self._neighbor_heard: Dict[int, float] = {}
+        node.register(KIND_CTRL, self._on_ctrl)
+        node.register(KIND_DATA, self._on_data)
+        if config.hello_interval > 0:
+            from ..sim.process import Process
+
+            self._hello_proc = Process(
+                sim, self._hello_loop(), name=f"aodv.hello[{self.nid}]"
+            )
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def send_data(
+        self,
+        dst: int,
+        payload: Any,
+        kind_upper: str,
+        size: int,
+        on_fail: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        """Send an upper-layer payload to ``dst``, discovering if needed."""
+        if dst == self.nid:
+            self.sim.schedule(0.0, self.deliver_up, kind_upper, dst, self.nid, payload, 0)
+            return
+        pkt = DataPacket(src=self.nid, dst=dst, kind_upper=kind_upper, payload=payload, size=size)
+        entry = self.table.lookup(dst, self.sim.now)
+        if entry is not None:
+            self._forward(pkt, entry.next_hop, on_fail)
+        else:
+            self._enqueue(pkt, on_fail)
+
+    def _enqueue(self, pkt: DataPacket, on_fail: Optional[Callable[[Any], None]]) -> None:
+        queue = self._pending.setdefault(pkt.dst, [])
+        if len(queue) >= self.cfg.queue_per_dest:
+            if on_fail is not None:
+                on_fail(pkt.payload)
+            return
+        queue.append((pkt, on_fail))
+        if len(queue) == 1 and pkt.dst not in self._attempt:
+            self._attempt[pkt.dst] = 0
+            self._start_discovery(pkt.dst)
+
+    def _forward(
+        self,
+        pkt: DataPacket,
+        next_hop: int,
+        on_fail: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        pkt.hops += 1
+        ok = self.channel.unicast(
+            Frame(src=self.nid, dst=next_hop, kind=KIND_DATA, payload=pkt, size=pkt.size)
+        )
+        if ok:
+            now = self.sim.now
+            self.table.refresh(pkt.dst, now + self.cfg.active_route_timeout)
+            if pkt.src != self.nid:
+                self.data_forwarded += 1
+            return
+        # Link broke: drop routes through that neighbour and tell ours.
+        pkt.hops -= 1
+        broken = self.table.invalidate_via(next_hop)
+        for entry in broken:
+            self._broadcast_rerr(entry.dest, entry.dest_seq)
+        if pkt.src == self.nid:
+            # We are the source: requeue and rediscover.
+            self._enqueue(pkt, on_fail)
+        # Intermediate nodes drop the packet (the RERR warns upstream).
+
+    def _on_data(self, frame: Frame) -> None:
+        pkt: DataPacket = frame.payload
+        if pkt.dst == self.nid:
+            self.deliver_up(pkt.kind_upper, self.nid, pkt.src, pkt.payload, pkt.hops)
+            return
+        entry = self.table.lookup(pkt.dst, self.sim.now)
+        if entry is None:
+            # No route at a relay: RERR back so sources re-discover.
+            cur = self.table.get(pkt.dst)
+            self._broadcast_rerr(pkt.dst, cur.dest_seq if cur else SEQ_UNKNOWN)
+            return
+        self._forward(pkt, entry.next_hop)
+
+    # ------------------------------------------------------------------
+    # route discovery
+    # ------------------------------------------------------------------
+    def _start_discovery(self, dest: int) -> None:
+        attempt = self._attempt.get(dest)
+        if attempt is None:
+            return
+        ttls = self.cfg.ring_ttls()
+        if attempt >= len(ttls):
+            # Discovery exhausted: fail every queued packet.
+            queue = self._pending.pop(dest, [])
+            self._attempt.pop(dest, None)
+            for pkt, on_fail in queue:
+                if on_fail is not None:
+                    on_fail(pkt.payload)
+            return
+        ttl = ttls[attempt]
+        self.seq += 1
+        self.rreq_id += 1
+        known = self.table.get(dest)
+        rreq = Rreq(
+            origin=self.nid,
+            origin_seq=self.seq,
+            rreq_id=self.rreq_id,
+            dest=dest,
+            dest_seq=known.dest_seq if known is not None else SEQ_UNKNOWN,
+            hop_count=0,
+            ttl=ttl,
+        )
+        self._seen_rreqs.add((self.nid, self.rreq_id))
+        self.rreq_sent += 1
+        self.channel.broadcast(
+            Frame(src=self.nid, dst=-1, kind=KIND_CTRL, payload=rreq, size=self.cfg.ctrl_size)
+        )
+        self.sim.schedule(self.cfg.discovery_timeout(ttl), self._discovery_check, dest, attempt)
+
+    def _discovery_check(self, dest: int, attempt: int) -> None:
+        if dest not in self._pending:
+            return  # already resolved (or failed)
+        if self.table.lookup(dest, self.sim.now) is not None:
+            self._flush(dest)
+            return
+        if self._attempt.get(dest) != attempt:
+            return  # a newer attempt is in flight
+        self._attempt[dest] = attempt + 1
+        self._start_discovery(dest)
+
+    def _flush(self, dest: int) -> None:
+        entry = self.table.lookup(dest, self.sim.now)
+        queue = self._pending.pop(dest, [])
+        self._attempt.pop(dest, None)
+        if entry is None:
+            for pkt, on_fail in queue:
+                if on_fail is not None:
+                    on_fail(pkt.payload)
+            return
+        for pkt, on_fail in queue:
+            self._forward(pkt, entry.next_hop, on_fail)
+
+    # ------------------------------------------------------------------
+    # HELLO link sensing (draft §6.9; optional)
+    # ------------------------------------------------------------------
+    def _hello_loop(self):
+        interval = self.cfg.hello_interval
+        # desynchronize beacons across nodes
+        yield (self.nid % 16) / 16.0 * interval
+        while True:
+            self.hello_sent += 1
+            self.channel.broadcast(
+                Frame(
+                    src=self.nid,
+                    dst=-1,
+                    kind=KIND_CTRL,
+                    payload=Hello(sender=self.nid),
+                    size=self.cfg.hello_size,
+                )
+            )
+            self._check_silent_neighbors()
+            yield interval
+
+    def _check_silent_neighbors(self) -> None:
+        deadline = self.cfg.hello_interval * (self.cfg.allowed_hello_loss + 0.5)
+        now = self.sim.now
+        for nbr, heard in list(self._neighbor_heard.items()):
+            if now - heard > deadline:
+                del self._neighbor_heard[nbr]
+                for entry in self.table.invalidate_via(nbr):
+                    self._broadcast_rerr(entry.dest, entry.dest_seq)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _on_ctrl(self, frame: Frame) -> None:
+        if self.cfg.hello_interval > 0:
+            self._neighbor_heard[frame.src] = self.sim.now
+        msg = frame.payload
+        if isinstance(msg, Rreq):
+            self._on_rreq(frame, msg)
+        elif isinstance(msg, Rrep):
+            self._on_rrep(frame, msg)
+        elif isinstance(msg, Rerr):
+            self._on_rerr(frame, msg)
+        # Hello needs no handling beyond the timestamp above.
+
+    def _on_rreq(self, frame: Frame, rreq: Rreq) -> None:
+        key = (rreq.origin, rreq.rreq_id)
+        if key in self._seen_rreqs:
+            return
+        self._seen_rreqs.add(key)
+        now = self.sim.now
+        hops_to_origin = rreq.hop_count + 1
+        # Reverse route to the origin via the node we heard this from.
+        self.table.offer(
+            rreq.origin,
+            next_hop=frame.src,
+            hop_count=hops_to_origin,
+            dest_seq=rreq.origin_seq,
+            expires_at=now + self.cfg.active_route_timeout,
+            now=now,
+        )
+        if rreq.dest == self.nid:
+            # Destination replies with a freshly incremented sequence
+            # number (>= any the requester has seen), so the RREP always
+            # displaces stale knowledge of us.
+            self.seq = max(self.seq + 1, rreq.dest_seq if rreq.dest_seq != SEQ_UNKNOWN else 0)
+            rrep = Rrep(
+                origin=rreq.origin,
+                dest=self.nid,
+                dest_seq=self.seq,
+                hop_count=0,
+                lifetime=self.cfg.my_route_timeout,
+            )
+            self._send_rrep(rrep)
+            return
+        if self.cfg.intermediate_reply:
+            entry = self.table.lookup(rreq.dest, now)
+            if (
+                entry is not None
+                and entry.dest_seq != SEQ_UNKNOWN
+                and (rreq.dest_seq == SEQ_UNKNOWN or entry.dest_seq >= rreq.dest_seq)
+            ):
+                rrep = Rrep(
+                    origin=rreq.origin,
+                    dest=rreq.dest,
+                    dest_seq=entry.dest_seq,
+                    hop_count=entry.hop_count,
+                    lifetime=max(entry.expires_at - now, 0.0),
+                )
+                self._send_rrep(rrep)
+                return
+        if rreq.ttl > 1:
+            fwd = Rreq(
+                origin=rreq.origin,
+                origin_seq=rreq.origin_seq,
+                rreq_id=rreq.rreq_id,
+                dest=rreq.dest,
+                dest_seq=rreq.dest_seq,
+                hop_count=hops_to_origin,
+                ttl=rreq.ttl - 1,
+            )
+            self.channel.broadcast(
+                Frame(src=self.nid, dst=-1, kind=KIND_CTRL, payload=fwd, size=frame.size)
+            )
+
+    def _send_rrep(self, rrep: Rrep) -> None:
+        """Unicast an RREP one hop toward its origin along reverse route."""
+        if rrep.origin == self.nid:
+            return  # degenerate: route to self
+        entry = self.table.lookup(rrep.origin, self.sim.now)
+        if entry is None:
+            return  # reverse route evaporated; origin will retry
+        self.rrep_sent += 1
+        self.channel.unicast(
+            Frame(
+                src=self.nid,
+                dst=entry.next_hop,
+                kind=KIND_CTRL,
+                payload=rrep,
+                size=self.cfg.ctrl_size,
+            )
+        )
+
+    def _on_rrep(self, frame: Frame, rrep: Rrep) -> None:
+        now = self.sim.now
+        hops_to_dest = rrep.hop_count + 1
+        # Forward route to the destination via whoever sent us the RREP.
+        self.table.offer(
+            rrep.dest,
+            next_hop=frame.src,
+            hop_count=hops_to_dest,
+            dest_seq=rrep.dest_seq,
+            expires_at=now + rrep.lifetime,
+            now=now,
+        )
+        if rrep.origin == self.nid:
+            self._flush(rrep.dest)
+            return
+        fwd = Rrep(
+            origin=rrep.origin,
+            dest=rrep.dest,
+            dest_seq=rrep.dest_seq,
+            hop_count=hops_to_dest,
+            lifetime=rrep.lifetime,
+        )
+        self._send_rrep(fwd)
+
+    def _broadcast_rerr(self, dest: int, dest_seq: int) -> None:
+        self.rerr_sent += 1
+        self.channel.broadcast(
+            Frame(
+                src=self.nid,
+                dst=-1,
+                kind=KIND_CTRL,
+                payload=Rerr(dest=dest, dest_seq=dest_seq),
+                size=self.cfg.rerr_size,
+            )
+        )
+
+    def _on_rerr(self, frame: Frame, rerr: Rerr) -> None:
+        entry = self.table.get(rerr.dest)
+        if entry is not None and entry.valid and entry.next_hop == frame.src:
+            self.table.invalidate(rerr.dest)
+            # Propagate so longer paths through us are torn down too.
+            self._broadcast_rerr(rerr.dest, max(rerr.dest_seq, entry.dest_seq))
+
+
+class AodvRouter(Router):
+    """Router facade: one :class:`AodvAgent` per node.
+
+    Parameters
+    ----------
+    sim, world, channel:
+        Shared substrate (the channel must belong to ``world``).
+    config:
+        Protocol constants.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        *,
+        config: Optional[AodvConfig] = None,
+    ) -> None:
+        super().__init__()
+        self.sim = sim
+        self.channel = channel
+        self.cfg = config if config is not None else AodvConfig()
+        self.agents = [
+            AodvAgent(node, channel, sim, self.cfg, self._deliver_up) for node in channel.nodes
+        ]
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        kind: str = "data",
+        size: int = 64,
+        on_fail: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.agents[src].send_data(dst, payload, kind, size, on_fail)
+
+    def route_hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        entry = self.agents[src].table.lookup(dst, self.sim.now)
+        return entry.hop_count if entry is not None else Router.UNKNOWN
+
+    # convenience for diagnostics / ablations -------------------------------
+    def control_overhead(self) -> dict:
+        """Aggregate AODV control-plane counters across all agents."""
+        return {
+            "rreq_sent": sum(a.rreq_sent for a in self.agents),
+            "rrep_sent": sum(a.rrep_sent for a in self.agents),
+            "rerr_sent": sum(a.rerr_sent for a in self.agents),
+            "data_forwarded": sum(a.data_forwarded for a in self.agents),
+        }

@@ -1,0 +1,132 @@
+"""AODV routing table with destination sequence numbers and lifetimes.
+
+The freshness rules are the heart of AODV's loop freedom: a route is
+replaced only by one with a strictly newer destination sequence number,
+or an equally fresh one with a strictly smaller hop count.  Expiry is
+lazy -- entries carry an absolute ``expires_at`` and are treated as
+invalid once the clock passes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .messages import SEQ_UNKNOWN
+
+__all__ = ["RouteEntry", "RouteTable"]
+
+
+@dataclass(slots=True)
+class RouteEntry:
+    """One route: where to forward next and how fresh our knowledge is."""
+
+    dest: int
+    next_hop: int
+    hop_count: int
+    dest_seq: int
+    expires_at: float
+    valid: bool = True
+
+
+class RouteTable:
+    """Per-node AODV route table.
+
+    Parameters
+    ----------
+    owner:
+        Owning node id (diagnostics only).
+    """
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._routes: Dict[int, RouteEntry] = {}
+
+    # ------------------------------------------------------------------
+    def lookup(self, dest: int, now: float) -> Optional[RouteEntry]:
+        """The valid, unexpired route to ``dest``, else ``None``."""
+        entry = self._routes.get(dest)
+        if entry is None or not entry.valid or entry.expires_at < now:
+            return None
+        return entry
+
+    def get(self, dest: int) -> Optional[RouteEntry]:
+        """Raw entry regardless of validity (for seq-number bookkeeping)."""
+        return self._routes.get(dest)
+
+    # ------------------------------------------------------------------
+    def offer(
+        self,
+        dest: int,
+        next_hop: int,
+        hop_count: int,
+        dest_seq: int,
+        expires_at: float,
+        now: float = float("-inf"),
+    ) -> bool:
+        """Install the offered route iff it is fresher/better (AODV rules).
+
+        Returns True if the table changed.  An offer with
+        ``dest_seq == SEQ_UNKNOWN`` (e.g. learned from a forwarded data
+        packet) only fills a hole -- it never displaces sequenced
+        knowledge.  An entry that is invalid *or expired at ``now``* is
+        dead knowledge: an equally-fresh offer may replace it.
+        """
+        cur = self._routes.get(dest)
+        if cur is None:
+            self._routes[dest] = RouteEntry(dest, next_hop, hop_count, dest_seq, expires_at)
+            return True
+        cur_dead = (not cur.valid) or cur.expires_at < now
+        if dest_seq == SEQ_UNKNOWN:
+            # Unsequenced knowledge only fills holes.
+            accept = cur_dead
+        elif cur.dest_seq == SEQ_UNKNOWN:
+            accept = True
+        elif dest_seq > cur.dest_seq:
+            accept = True
+        elif dest_seq == cur.dest_seq:
+            accept = hop_count < cur.hop_count or cur_dead
+        else:
+            accept = False
+        if accept:
+            self._routes[dest] = RouteEntry(dest, next_hop, hop_count, dest_seq, expires_at)
+        return accept
+
+    # ------------------------------------------------------------------
+    def refresh(self, dest: int, expires_at: float) -> None:
+        """Extend the lifetime of an active route (route used for data)."""
+        entry = self._routes.get(dest)
+        if entry is not None and entry.valid:
+            entry.expires_at = max(entry.expires_at, expires_at)
+
+    def invalidate(self, dest: int) -> Optional[RouteEntry]:
+        """Mark the route to ``dest`` broken; bumps its seq (AODV §6.11)."""
+        entry = self._routes.get(dest)
+        if entry is not None and entry.valid:
+            entry.valid = False
+            if entry.dest_seq != SEQ_UNKNOWN:
+                entry.dest_seq += 1
+            return entry
+        return None
+
+    def invalidate_via(self, next_hop: int) -> list[RouteEntry]:
+        """Invalidate every route whose next hop is ``next_hop``."""
+        broken = []
+        for entry in self._routes.values():
+            if entry.valid and entry.next_hop == next_hop:
+                entry.valid = False
+                if entry.dest_seq != SEQ_UNKNOWN:
+                    entry.dest_seq += 1
+                broken.append(entry)
+        return broken
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        valid = sum(1 for e in self._routes.values() if e.valid)
+        return f"<RouteTable node={self.owner} routes={len(self._routes)} valid={valid}>"

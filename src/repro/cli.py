@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Examples
+--------
+Reproduce a paper figure at reduced scale::
+
+    p2p-manet figure fig7 --duration 600 --reps 3
+
+Print the paper's tables::
+
+    p2p-manet tables
+
+Run a single scenario and dump its summary::
+
+    p2p-manet run --algorithm hybrid --nodes 50 --duration 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    figure_chart,
+    figure_result_to_csv,
+    figure_result_to_json,
+    render_checks,
+    render_figure,
+    render_table,
+    run_figure,
+    run_result_to_json,
+    table1_rows,
+    table2_rows,
+)
+from .experiments.report import render_paper_comparison
+from .scenarios import ScenarioConfig, build_scenario, run_scenario
+
+__all__ = ["main"]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = run_figure(
+        args.figure,
+        duration=args.duration,
+        reps=args.reps,
+        seed=args.seed,
+        routing=args.routing,
+    )
+    if args.json:
+        print(figure_result_to_json(result))
+        return 0
+    if args.csv:
+        print(figure_result_to_csv(result), end="")
+        return 0
+    print(render_figure(result))
+    if args.chart:
+        print()
+        key = "curve" if result.kind == "message_curve" else "answers"
+        print(figure_chart(result, key=key))
+    print()
+    print(render_checks(result))
+    if args.compare:
+        print()
+        print(render_paper_comparison(result))
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(render_table(table1_rows(), title="Table 1. Topologies and their characteristics."))
+    print()
+    print(render_table(table2_rows(), title="Table 2. Parameters used and their typical values."))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for value in args.values:
+        overrides = {"duration": args.duration, "seed": args.seed}
+        if args.parameter == "nodes":
+            overrides["num_nodes"] = int(value)
+        elif args.parameter == "algorithm":
+            overrides["algorithm"] = value
+        elif args.parameter == "mobility":
+            overrides["mobility"] = value
+        else:
+            overrides["routing"] = value
+        res = run_scenario(ScenarioConfig(**overrides))
+        answered = sum(s.answered for s in res.file_stats)
+        total = sum(s.queries for s in res.file_stats)
+        rows.append(
+            [
+                str(value),
+                str(res.totals["connect"]),
+                str(res.totals["ping"]),
+                str(res.totals["query"]),
+                f"{res.overlay_stats['mean_degree']:.2f}",
+                f"{answered / total:.2f}" if total else "-",
+                f"{res.energy.sum():.3f}",
+            ]
+        )
+    print(
+        render_table(
+            [[args.parameter, "connect", "ping", "query", "degree", "answer_rate", "energy(J)"]]
+            + rows,
+            title=f"sweep over {args.parameter} ({args.duration:g}s, seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments import reproduce_all
+
+    reproduce_all(
+        args.out,
+        figures=args.figures,
+        duration=args.duration,
+        reps=args.reps,
+        seed=args.seed,
+        progress=print,
+    )
+    print(f"artifacts written to {args.out}/")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .net.render import render_overlay_summary, render_world
+
+    s = build_scenario(
+        ScenarioConfig(
+            num_nodes=args.nodes,
+            duration=args.duration,
+            algorithm=args.algorithm,
+            seed=args.seed,
+        )
+    )
+    s.run()
+    members = set(s.members)
+    print(
+        render_world(
+            s.world,
+            label=lambda i: str(i % 10) if i in members else ".",
+        )
+    )
+    print("\noverlay (members only; '.' nodes are ad-hoc relays):")
+    print(render_overlay_summary(s.overlay))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ScenarioConfig(
+        num_nodes=args.nodes,
+        duration=args.duration,
+        algorithm=args.algorithm,
+        routing=args.routing,
+        seed=args.seed,
+    )
+    res = run_scenario(cfg)
+    if args.json:
+        print(run_result_to_json(res))
+        return 0
+    print(f"scenario: {args.algorithm}, {args.nodes} nodes, {args.duration:g}s (seed {args.seed})")
+    print(f"events dispatched: {res.events}")
+    print(f"received totals:  {res.totals}")
+    print(f"queries issued:   {res.num_queries}")
+    print(
+        "overlay: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in res.overlay_stats.items())
+    )
+    print(f"energy consumed:  {res.energy.sum():.4f} J")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2p-manet",
+        description="Reproduction of 'P2P over Ad-hoc Networks: (Re)Configuration Algorithms' (IPDPS'03)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure (fig5..fig12)")
+    fig.add_argument("figure", choices=[f"fig{i}" for i in range(5, 13)])
+    fig.add_argument("--duration", type=float, default=600.0, help="seconds per run")
+    fig.add_argument("--reps", type=int, default=3, help="repetitions (paper: 33)")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--routing", choices=("aodv", "dsdv", "dsr", "oracle"), default="aodv"
+    )
+    fig.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    fig.add_argument("--csv", action="store_true", help="emit long-format CSV")
+    fig.add_argument("--chart", action="store_true", help="add an ASCII chart")
+    fig.add_argument(
+        "--compare", action="store_true", help="compare against the paper's claims"
+    )
+    fig.set_defaults(func=_cmd_figure)
+
+    world = sub.add_parser("map", help="render the world + overlay as ASCII")
+    world.add_argument("--nodes", type=int, default=50)
+    world.add_argument("--duration", type=float, default=300.0)
+    world.add_argument(
+        "--algorithm", choices=("basic", "regular", "random", "hybrid"), default="regular"
+    )
+    world.add_argument("--seed", type=int, default=0)
+    world.set_defaults(func=_cmd_map)
+
+    tab = sub.add_parser("tables", help="print Tables 1 and 2")
+    tab.set_defaults(func=_cmd_tables)
+
+    run = sub.add_parser("run", help="run one scenario and print a summary")
+    run.add_argument("--nodes", type=int, default=50)
+    run.add_argument("--duration", type=float, default=600.0)
+    run.add_argument(
+        "--algorithm", choices=("basic", "regular", "random", "hybrid"), default="regular"
+    )
+    run.add_argument(
+        "--routing", choices=("aodv", "dsdv", "dsr", "oracle"), default="aodv"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", help="emit the full RunResult as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one parameter across values, one scenario per value"
+    )
+    sweep.add_argument(
+        "parameter", choices=("nodes", "algorithm", "mobility", "routing")
+    )
+    sweep.add_argument("values", nargs="+", help="values to sweep over")
+    sweep.add_argument("--duration", type=float, default=300.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    rep = sub.add_parser(
+        "reproduce", help="run the whole evaluation, write artifacts to a directory"
+    )
+    rep.add_argument("--out", default="results", help="output directory")
+    rep.add_argument(
+        "--figures", nargs="*", default=None, help="subset (default: fig5..fig12)"
+    )
+    rep.add_argument("--duration", type=float, default=None, help="override seconds/run")
+    rep.add_argument("--reps", type=int, default=None, help="override repetitions")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's four (re)configuration algorithms."""
+
+from typing import Callable, Dict, Type
+
+from .base import ReconfigAlgorithm
+from .basic import BasicAlgorithm
+from .hybrid import HybridAlgorithm, PeerState
+from .random_alg import RandomAlgorithm
+from .regular import RegularAlgorithm
+
+__all__ = [
+    "ReconfigAlgorithm",
+    "BasicAlgorithm",
+    "RegularAlgorithm",
+    "RandomAlgorithm",
+    "HybridAlgorithm",
+    "PeerState",
+    "ALGORITHMS",
+    "make_algorithm",
+]
+
+#: registry keyed by the names used throughout configs and reports
+ALGORITHMS: Dict[str, Type[ReconfigAlgorithm]] = {
+    "basic": BasicAlgorithm,
+    "regular": RegularAlgorithm,
+    "random": RandomAlgorithm,
+    "hybrid": HybridAlgorithm,
+}
+
+
+def make_algorithm(
+    name: str, servent, config, rng, *, qualifier: float = 1.0
+) -> ReconfigAlgorithm:
+    """Instantiate an algorithm by name (qualifier only used by hybrid)."""
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    if cls is HybridAlgorithm:
+        return cls(servent, config, rng, qualifier=qualifier)
+    return cls(servent, config, rng)

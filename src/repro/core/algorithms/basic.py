@@ -1,0 +1,74 @@
+"""The Basic (re)configuration algorithm (§6.1.1) -- the baseline.
+
+Characteristics, straight from the paper's Figure 1 pseudo-code:
+
+* discovery broadcasts always travel the full fixed ``NHOPS`` radius
+  (no expanding ring) and repeat every fixed ``TIMER`` while the node
+  has fewer than MAXNCONN references -- the "indiscriminate use of
+  broadcasts" the improved algorithms attack;
+* *every* node that hears a discovery answers it (no willingness
+  check), and the seeker adds references as replies arrive -- no
+  handshake, so references are *asymmetric*;
+* each node maintains each of its own references by pinging it
+  (both endpoints of a mutual reference ping, doubling ping traffic);
+* there is no distance bound on maintained references.
+"""
+
+from __future__ import annotations
+
+from ..connection import Connection
+from ..messages import Discover, DiscoverReply, P2pMessage
+from .base import ReconfigAlgorithm
+
+__all__ = ["BasicAlgorithm"]
+
+
+class BasicAlgorithm(ReconfigAlgorithm):
+    """Simple fixed-radius, fixed-timer reconfiguration."""
+
+    name = "basic"
+
+    # ------------------------------------------------------------------
+    # establishment
+    # ------------------------------------------------------------------
+    def _establish_loop(self):
+        cfg = self.cfg
+        servent = self.servent
+        # Small initial jitter so all nodes don't flood at t=0 together.
+        yield float(self.rng.uniform(0.0, cfg.timer_basic))
+        while True:
+            if not servent.connections.is_full:
+                servent.flood(Discover(seeker=servent.nid, basic=True), cfg.nhops_basic)
+            yield cfg.timer_basic
+
+    def on_discovery(self, origin: int, msg: P2pMessage, hops: int) -> None:
+        if isinstance(msg, Discover) and msg.basic:
+            # "Every node that listens to this message answers it."
+            self.servent.send(origin, DiscoverReply(responder=self.servent.nid))
+
+    def on_message(self, src: int, msg: P2pMessage, hops: int) -> None:
+        if isinstance(msg, DiscoverReply):
+            table = self.servent.connections
+            if not table.is_full and not table.has(src):
+                # Asymmetric reference, maintained by us (initiator pings).
+                self.add_connection(
+                    Connection(peer=src, symmetric=False, initiator=True)
+                )
+
+    # ------------------------------------------------------------------
+    # maintenance deviations from the shared scheme
+    # ------------------------------------------------------------------
+    def handle_ping(self, src, msg, hops):
+        """Basic §6.1.1: 'whenever a node receives a ping it answers with
+        a pong' -- even when it holds no reference back (references are
+        asymmetric, so that is the common case)."""
+        from ..messages import Pong
+
+        conn = self.servent.connections.get(src)
+        if conn is not None:
+            conn.last_seen = self.servent.sim.now
+        self.servent.send(src, Pong(sender=self.servent.nid))
+
+    def allowed_distance(self, conn) -> int:
+        """Basic has no distance bound on maintained references."""
+        return 10**9

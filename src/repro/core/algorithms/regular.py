@@ -1,0 +1,174 @@
+"""The Regular (re)configuration algorithm (§6.1.3, Figure 2).
+
+Its four improvements over Basic, all implemented here:
+
+1. **Expanding ring** -- discovery broadcasts start at
+   ``NHOPS_INITIAL`` and grow by 2 up to ``MAXNHOPS``
+   (``nhops = (nhops + 2) mod (MAXNHOPS + 2)``; the 0 value marks a
+   completed cycle);
+2. **Distance-bounded connections** -- a maintained connection is closed
+   once the peer is farther than ``MAXDIST`` ad-hoc hops, keeping
+   ping/pong traffic local;
+3. **Symmetric connections via three-way handshake** -- the willing
+   responder offers, the seeker accepts, the responder confirms; only
+   the *seeker* (initiator) pings afterwards, halving ping traffic;
+4. **Exponential retry back-off** -- after a whole nhops cycle without
+   filling MAXNCONN, the retry timer doubles (up to ``MAXTIMER``) and is
+   reset to ``TIMER_INITIAL`` whenever a connection is established.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..connection import Connection
+from ..messages import (
+    ConnectAccept,
+    ConnectConfirm,
+    ConnectOffer,
+    Discover,
+    P2pMessage,
+)
+from .base import ReconfigAlgorithm
+
+__all__ = ["RegularAlgorithm"]
+
+
+class RegularAlgorithm(ReconfigAlgorithm):
+    """Expanding-ring, symmetric-handshake reconfiguration."""
+
+    name = "regular"
+
+    def __init__(self, servent, config, rng) -> None:
+        super().__init__(servent, config, rng)
+        self.nhops = config.nhops_initial
+        self.timer = config.timer_initial
+        # seeker-side pending handshakes: responder -> accept-sent time
+        self._pending: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # establishment (Figure 2, "A Regular: Establishing connections")
+    # ------------------------------------------------------------------
+    def _establish_loop(self):
+        cfg = self.cfg
+        servent = self.servent
+        yield float(self.rng.uniform(0.0, cfg.timer_initial))
+        while True:
+            if servent.connections.count < self._target_connections():
+                if self.nhops != 0:
+                    self._send_discovery()
+                    self._advance_nhops()
+                    yield self.timer
+                else:
+                    self.timer = min(self.timer * 2, cfg.max_timer)
+                    self._advance_nhops()
+            else:
+                # At capacity: idle until a maintenance close frees a slot.
+                yield cfg.timer_initial
+
+    def _target_connections(self) -> int:
+        """How many connections establishment aims for (Random overrides)."""
+        return self.cfg.max_connections
+
+    def _send_discovery(self) -> None:
+        self.servent.flood(self._make_discover(), self.nhops)
+
+    def _make_discover(self) -> Discover:
+        return Discover(seeker=self.servent.nid)
+
+    def _advance_nhops(self) -> None:
+        self.nhops = (self.nhops + 2) % (self.cfg.max_nhops + 2)
+
+    def _on_connected(self) -> None:
+        """A connection was established: reset the back-off (§6.1.3)."""
+        self.timer = self.cfg.timer_initial
+
+    # ------------------------------------------------------------------
+    # responder side
+    # ------------------------------------------------------------------
+    def _willing(self, origin: int, msg: Discover) -> bool:
+        """Whether this node answers a discovery with an offer."""
+        table = self.servent.connections
+        return (
+            not msg.basic
+            and not msg.masters_only
+            and not table.is_full
+            and not table.has(origin)
+        )
+
+    def on_discovery(self, origin: int, msg: P2pMessage, hops: int) -> None:
+        if isinstance(msg, Discover) and self._willing(origin, msg):
+            self.servent.send(
+                origin,
+                ConnectOffer(
+                    responder=self.servent.nid, hops_seen=hops, random=msg.want_random
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, msg: P2pMessage, hops: int) -> None:
+        if isinstance(msg, ConnectOffer):
+            self._on_offer(src, msg)
+        elif isinstance(msg, ConnectAccept):
+            self._on_accept(src, msg)
+        elif isinstance(msg, ConnectConfirm):
+            self._on_confirm(src, msg)
+
+    def _accepts_offer(self, src: int, offer: ConnectOffer) -> bool:
+        table = self.servent.connections
+        return (
+            not offer.random
+            and table.count + len(self._pending) < self._target_connections()
+            and not table.has(src)
+            and src not in self._pending
+        )
+
+    def _on_offer(self, src: int, offer: ConnectOffer) -> None:
+        if self._accepts_offer(src, offer):
+            self._accept(src, random=offer.random)
+
+    def _accept(self, src: int, *, random: bool) -> None:
+        """Leg 2: accept an offer and await the confirm."""
+        now = self.servent.sim.now
+        self._pending[src] = now
+        self.servent.send(src, ConnectAccept(seeker=self.servent.nid, random=random))
+        self.servent.sim.schedule(
+            self.cfg.handshake_timeout, self._maybe_expire_pending, src, now
+        )
+
+    def _maybe_expire_pending(self, src: int, accepted_at: float) -> None:
+        # Only expire the handshake this timer belongs to (a newer
+        # handshake with the same peer carries a newer timestamp).
+        if self._pending.get(src) == accepted_at:
+            self._pending_timeout(src)
+
+    def _pending_timeout(self, src: int) -> None:
+        self._pending.pop(src, None)
+
+    def _on_accept(self, src: int, msg: ConnectAccept) -> None:
+        """Leg 2 arrives at the responder: install and confirm."""
+        table = self.servent.connections
+        if table.is_full or table.has(src):
+            return  # capacity raced away; seeker's pending will time out
+        if self.add_connection(
+            Connection(peer=src, symmetric=True, initiator=False, random=msg.random)
+        ):
+            self.servent.send(
+                src, ConnectConfirm(responder=self.servent.nid, random=msg.random)
+            )
+            self._on_connected()
+
+    def _on_confirm(self, src: int, msg: ConnectConfirm) -> None:
+        """Leg 3 arrives at the seeker: the connection is live."""
+        if src not in self._pending:
+            return  # timed out / duplicate confirm
+        self._pending.pop(src, None)
+        table = self.servent.connections
+        if table.is_full or table.has(src):
+            return  # acceptor side will garbage-collect via ping deadline
+        if self.add_connection(
+            Connection(peer=src, symmetric=True, initiator=True, random=msg.random)
+        ):
+            self._on_connected()

@@ -1,0 +1,260 @@
+"""P2P overlay message types.
+
+Every message carries a ``FAMILY`` class attribute naming the traffic
+family the paper's metrics group it under:
+
+* ``"connect"`` -- discovery floods, three-way-handshake legs, and the
+  Hybrid algorithm's capture/slave messages (all messages whose purpose
+  is establishing references);
+* ``"ping"`` -- keep-alive pings and pongs;
+* ``"query"`` -- Gnutella-style queries and query hits.
+
+Sizes (bytes) are nominal wire sizes used for energy accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "P2pMessage",
+    "Discover",
+    "DiscoverReply",
+    "ConnectOffer",
+    "ConnectAccept",
+    "ConnectConfirm",
+    "Ping",
+    "Pong",
+    "Capture",
+    "SlaveRequest",
+    "SlaveAccept",
+    "SlaveConfirm",
+    "Query",
+    "QueryHit",
+    "FileRequest",
+    "FileData",
+]
+
+_qid = itertools.count()
+
+
+class P2pMessage:
+    """Base class; concrete messages define FAMILY and SIZE."""
+
+    FAMILY = "other"
+    SIZE = 32
+
+
+# ----------------------------------------------------------------------
+# connection establishment (decentralized algorithms)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Discover(P2pMessage):
+    """Flooded "I am looking for connections" announcement.
+
+    Attributes
+    ----------
+    seeker:
+        Node looking for connections.
+    want_random:
+        True when this discovery seeks the Random algorithm's long-range
+        connection (responders are collected and the farthest wins).
+    masters_only:
+        Hybrid: only masters may respond (master-to-master discovery).
+    basic:
+        True for the Basic algorithm (responders reply unconditionally
+        and the connection is an asymmetric reference, no handshake).
+    """
+
+    FAMILY = "connect"
+    SIZE = 48
+
+    seeker: int
+    want_random: bool = False
+    masters_only: bool = False
+    basic: bool = False
+
+
+@dataclass(slots=True)
+class DiscoverReply(P2pMessage):
+    """Basic algorithm's reply: "I heard you" (no handshake follows)."""
+
+    FAMILY = "connect"
+    SIZE = 32
+
+    responder: int
+
+
+@dataclass(slots=True)
+class ConnectOffer(P2pMessage):
+    """Handshake leg 1 (responder -> seeker): willing to connect.
+
+    ``hops_seen`` is the ad-hoc hop count at which the responder heard
+    the discovery flood -- the seeker uses it to pick the *farthest*
+    offer for random connections.
+    ``random`` echoes the discovery's ``want_random``.
+    """
+
+    FAMILY = "connect"
+    SIZE = 32
+
+    responder: int
+    hops_seen: int
+    random: bool = False
+
+
+@dataclass(slots=True)
+class ConnectAccept(P2pMessage):
+    """Handshake leg 2 (seeker -> responder): offer accepted."""
+
+    FAMILY = "connect"
+    SIZE = 24
+
+    seeker: int
+    random: bool = False
+
+
+@dataclass(slots=True)
+class ConnectConfirm(P2pMessage):
+    """Handshake leg 3 (responder -> seeker): connection is live."""
+
+    FAMILY = "connect"
+    SIZE = 24
+
+    responder: int
+    random: bool = False
+
+
+# ----------------------------------------------------------------------
+# maintenance
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Ping(P2pMessage):
+    """Keep-alive probe along an overlay connection."""
+
+    FAMILY = "ping"
+    SIZE = 16
+
+    sender: int
+
+
+@dataclass(slots=True)
+class Pong(P2pMessage):
+    """Keep-alive answer."""
+
+    FAMILY = "ping"
+    SIZE = 16
+
+    sender: int
+
+
+# ----------------------------------------------------------------------
+# Hybrid algorithm
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Capture(P2pMessage):
+    """Hybrid's flooded presence/capture message carrying the qualifier."""
+
+    FAMILY = "connect"
+    SIZE = 40
+
+    sender: int
+    qualifier: float
+
+
+@dataclass(slots=True)
+class SlaveRequest(P2pMessage):
+    """Slave handshake leg 1 (candidate slave -> master candidate)."""
+
+    FAMILY = "connect"
+    SIZE = 32
+
+    sender: int
+    qualifier: float
+
+
+@dataclass(slots=True)
+class SlaveAccept(P2pMessage):
+    """Slave handshake leg 2 (master -> slave)."""
+
+    FAMILY = "connect"
+    SIZE = 24
+
+    sender: int
+
+
+@dataclass(slots=True)
+class SlaveConfirm(P2pMessage):
+    """Slave handshake leg 3 (slave -> master): enslavement final."""
+
+    FAMILY = "connect"
+    SIZE = 24
+
+    sender: int
+
+
+# ----------------------------------------------------------------------
+# query plane (Gnutella-like)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Query(P2pMessage):
+    """A file search, forwarded across overlay connections with a TTL.
+
+    ``p2p_hops`` counts overlay hops travelled so far (0 when leaving
+    the requirer).  ``qid`` is globally unique.
+    """
+
+    FAMILY = "query"
+    SIZE = 80
+
+    requirer: int
+    file_id: int
+    ttl: int
+    p2p_hops: int = 0
+    qid: int = field(default_factory=lambda: next(_qid))
+
+
+@dataclass(slots=True)
+class QueryHit(P2pMessage):
+    """Direct response from a file holder to the requirer.
+
+    ``p2p_hops`` is the overlay distance at which the holder received
+    the query (the paper's minimum-distance metric).
+    """
+
+    FAMILY = "query"
+    SIZE = 80
+
+    holder: int
+    file_id: int
+    qid: int
+    p2p_hops: int
+
+
+# ----------------------------------------------------------------------
+# file transfer ("the file properly said, which is transferred directly
+# between the peers" -- §2's Gnutella description)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class FileRequest(P2pMessage):
+    """Direct download request from the requirer to a chosen holder."""
+
+    FAMILY = "transfer"
+    SIZE = 48
+
+    requirer: int
+    file_id: int
+    qid: int
+
+
+@dataclass(slots=True)
+class FileData(P2pMessage):
+    """The file content (bulky: dominates energy when transfers are on)."""
+
+    FAMILY = "transfer"
+    SIZE = 4096
+
+    holder: int
+    file_id: int
+    qid: int

@@ -1,0 +1,5 @@
+"""DSDV proactive distance-vector routing."""
+
+from .protocol import INFINITE_METRIC, DsdvAgent, DsdvConfig, DsdvRouter
+
+__all__ = ["INFINITE_METRIC", "DsdvAgent", "DsdvConfig", "DsdvRouter"]

@@ -1,0 +1,5 @@
+"""DSR on-demand source routing."""
+
+from .protocol import DsrAgent, DsrConfig, DsrRouter, RouteCache
+
+__all__ = ["DsrAgent", "DsrConfig", "DsrRouter", "RouteCache"]

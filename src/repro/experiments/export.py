@@ -1,0 +1,114 @@
+"""Serialize run and figure results to JSON / CSV.
+
+The harness prints text tables; downstream users (plotting in a
+full-featured environment, archiving sweeps) want machine-readable
+output.  Everything numpy is converted to plain Python so the JSON is
+portable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..scenarios.runner import RunResult
+from .figures import FigureResult
+
+__all__ = [
+    "run_result_to_dict",
+    "run_result_to_json",
+    "figure_result_to_dict",
+    "figure_result_to_json",
+    "figure_result_to_csv",
+]
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to built-ins."""
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return None  # JSON has no NaN/inf
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A RunResult as a JSON-ready dict."""
+    return _plain(
+        {
+            "algorithm": result.config.algorithm,
+            "num_nodes": result.config.num_nodes,
+            "duration": result.config.duration,
+            "seed": result.config.seed,
+            "routing": result.config.routing,
+            "members": result.members,
+            "totals": result.totals,
+            "sorted_received": {k: v for k, v in result.sorted_received.items()},
+            "file_stats": [
+                {
+                    "file_id": s.file_id,
+                    "queries": s.queries,
+                    "answered": s.answered,
+                    "avg_answers": s.avg_answers,
+                    "avg_min_p2p_hops": s.avg_min_p2p_hops,
+                    "avg_min_adhoc_hops": s.avg_min_adhoc_hops,
+                }
+                for s in result.file_stats
+            ],
+            "overlay_stats": result.overlay_stats,
+            "energy_total": float(result.energy.sum()),
+            "num_queries": result.num_queries,
+            "events": result.events,
+        }
+    )
+
+
+def run_result_to_json(result: RunResult, indent: int = 2) -> str:
+    return json.dumps(run_result_to_dict(result), indent=indent)
+
+
+def figure_result_to_dict(result: FigureResult) -> Dict[str, Any]:
+    """A FigureResult as a JSON-ready dict."""
+    return _plain(
+        {
+            "exp_id": result.exp_id,
+            "kind": result.kind,
+            "num_nodes": result.num_nodes,
+            "duration": result.duration,
+            "reps": result.reps,
+            "family": result.family,
+            "series": {
+                alg: {k: v for k, v in payload.items()}
+                for alg, payload in result.series.items()
+            },
+            "totals": result.totals,
+        }
+    )
+
+
+def figure_result_to_json(result: FigureResult, indent: int = 2) -> str:
+    return json.dumps(figure_result_to_dict(result), indent=indent)
+
+
+def figure_result_to_csv(result: FigureResult) -> str:
+    """Long-format CSV: exp_id, algorithm, series, index, value."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["exp_id", "algorithm", "series", "index", "value"])
+    for alg, payload in result.series.items():
+        for key, values in payload.items():
+            for i, v in enumerate(np.asarray(values, dtype=float)):
+                writer.writerow(
+                    [result.exp_id, alg, key, i, "" if not np.isfinite(v) else f"{v:.6g}"]
+                )
+    return buf.getvalue()

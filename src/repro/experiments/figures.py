@@ -1,0 +1,260 @@
+"""Experiment definitions for every figure in the paper's evaluation.
+
+Each ``figN`` function reproduces one paper figure: it runs the four
+algorithms through the scenario of that figure and returns a
+:class:`FigureResult` holding the same series the paper plots.  The
+paper-scale parameters (50/150 nodes, 3600 s, 33 repetitions) are the
+``full()`` presets; benchmarks run scaled-down variants (fewer seconds /
+repetitions -- same shape, laptop-friendly) via the ``scale`` knobs.
+
+Figure index (paper §7.4):
+
+* Figure 5 / 6  -- avg minimum distance to the requested file and avg
+  answers per request, by file popularity rank (50 / 150 nodes).
+* Figure 7 / 8  -- connect messages received per node, nodes sorted
+  decreasing (50 / 150 nodes).
+* Figure 9 / 10 -- ping messages, same axes.
+* Figure 11 / 12 -- query messages, same axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..metrics.aggregate import mean_ci, per_file_stats, sorted_curve_mean
+from ..scenarios.config import ScenarioConfig
+from ..scenarios.runner import RunResult, run_repetitions
+
+__all__ = [
+    "ALGORITHM_ORDER",
+    "FigureResult",
+    "run_distance_answers_figure",
+    "run_message_curve_figure",
+    "FIGURES",
+    "run_figure",
+    "shape_checks",
+]
+
+ALGORITHM_ORDER = ("basic", "regular", "random", "hybrid")
+
+#: message family plotted by each curve figure
+_CURVE_FAMILY = {
+    "fig7": "connect",
+    "fig8": "connect",
+    "fig9": "ping",
+    "fig10": "ping",
+    "fig11": "query",
+    "fig12": "query",
+}
+
+#: node count of each figure's scenario
+_FIG_NODES = {
+    "fig5": 50,
+    "fig6": 150,
+    "fig7": 50,
+    "fig8": 150,
+    "fig9": 50,
+    "fig10": 150,
+    "fig11": 50,
+    "fig12": 150,
+}
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: per-algorithm series plus metadata."""
+
+    exp_id: str
+    kind: str  # "distance_answers" | "message_curve"
+    num_nodes: int
+    duration: float
+    reps: int
+    #: distance_answers: {alg: {"distance": arr10, "answers": arr10}}
+    #: message_curve:    {alg: {"curve": sorted per-node array}}
+    series: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    family: Optional[str] = None
+    #: per-algorithm network totals of the plotted family
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def algorithms(self) -> List[str]:
+        return [a for a in ALGORITHM_ORDER if a in self.series]
+
+
+def _base_config(num_nodes: int, duration: float, seed: int, routing: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        num_nodes=num_nodes, duration=duration, seed=seed, routing=routing
+    )
+
+
+def run_distance_answers_figure(
+    exp_id: str,
+    num_nodes: int,
+    *,
+    duration: float = 3600.0,
+    reps: int = 33,
+    seed: int = 0,
+    routing: str = "aodv",
+    top_files: int = 10,
+) -> FigureResult:
+    """Figures 5/6: distance-to-file and answers-per-request by rank."""
+    result = FigureResult(
+        exp_id=exp_id,
+        kind="distance_answers",
+        num_nodes=num_nodes,
+        duration=duration,
+        reps=reps,
+    )
+    for alg in ALGORITHM_ORDER:
+        cfg = _base_config(num_nodes, duration, seed, routing).with_(algorithm=alg)
+        runs = run_repetitions(cfg, reps)
+        dist = mean_ci([r.distance_series()[:top_files] for r in runs])["mean"]
+        answers = mean_ci([r.answers_series()[:top_files] for r in runs])["mean"]
+        result.series[alg] = {"distance": dist, "answers": answers}
+        result.totals[alg] = float(np.mean([r.num_queries for r in runs]))
+    return result
+
+
+def run_message_curve_figure(
+    exp_id: str,
+    num_nodes: int,
+    family: str,
+    *,
+    duration: float = 3600.0,
+    reps: int = 33,
+    seed: int = 0,
+    routing: str = "aodv",
+) -> FigureResult:
+    """Figures 7-12: per-node received-message curves, sorted decreasing."""
+    result = FigureResult(
+        exp_id=exp_id,
+        kind="message_curve",
+        num_nodes=num_nodes,
+        duration=duration,
+        reps=reps,
+        family=family,
+    )
+    for alg in ALGORITHM_ORDER:
+        cfg = _base_config(num_nodes, duration, seed, routing).with_(algorithm=alg)
+        runs = run_repetitions(cfg, reps)
+        curve = sorted_curve_mean([r.sorted_received[family] for r in runs])
+        result.series[alg] = {"curve": curve}
+        result.totals[alg] = float(np.mean([r.totals[family] for r in runs]))
+    return result
+
+
+def run_figure(exp_id: str, **kwargs) -> FigureResult:
+    """Run any paper figure by id (``fig5`` ... ``fig12``)."""
+    if exp_id not in _FIG_NODES:
+        raise ValueError(f"unknown figure {exp_id!r}; choose from {sorted(_FIG_NODES)}")
+    nodes = _FIG_NODES[exp_id]
+    if exp_id in ("fig5", "fig6"):
+        return run_distance_answers_figure(exp_id, nodes, **kwargs)
+    return run_message_curve_figure(exp_id, nodes, _CURVE_FAMILY[exp_id], **kwargs)
+
+
+#: callable registry (used by the CLI and the benches)
+FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    fid: (lambda fid=fid: (lambda **kw: run_figure(fid, **kw)))() for fid in _FIG_NODES
+}
+
+
+# ----------------------------------------------------------------------
+# shape expectations (§7.4 qualitative claims; see DESIGN.md §3)
+# ----------------------------------------------------------------------
+def shape_checks(result: FigureResult) -> List[tuple]:
+    """Evaluate the paper's qualitative claims against a result.
+
+    Returns ``[(claim, holds, detail), ...]``.  Benches assert the
+    critical ones; EXPERIMENTS.md records them all.
+    """
+    checks: List[tuple] = []
+    s = result.series
+    if result.kind == "distance_answers":
+        for alg in result.algorithms():
+            answers = s[alg]["answers"]
+            # Zipf decay: most popular file gets the most answers; the
+            # first rank dominates the tail ranks.
+            tail = answers[5:].mean() if len(answers) > 5 else answers[-1]
+            checks.append(
+                (
+                    f"{alg}: answers decay with rank",
+                    bool(answers[0] >= tail),
+                    f"rank1={answers[0]:.2f} tail_mean={tail:.2f}",
+                )
+            )
+            dist = s[alg]["distance"]
+            finite = dist[np.isfinite(dist)]
+            if len(finite) >= 4:
+                first = finite[: len(finite) // 2].mean()
+                second = finite[len(finite) // 2 :].mean()
+                checks.append(
+                    (
+                        f"{alg}: distance tends to increase with rank",
+                        bool(second >= first * 0.85),
+                        f"first_half={first:.2f} second_half={second:.2f}",
+                    )
+                )
+    else:
+        fam = result.family
+        t = result.totals
+        if fam == "connect":
+            checks.append(
+                (
+                    "basic generates the most connect traffic",
+                    bool(t["basic"] >= max(t["regular"], t["hybrid"])),
+                    f"totals={t}",
+                )
+            )
+            checks.append(
+                (
+                    "random sits above regular (long-range TTLs)",
+                    bool(t["random"] >= t["regular"]),
+                    f"random={t['random']:.0f} regular={t['regular']:.0f}",
+                )
+            )
+        elif fam == "ping":
+            checks.append(
+                (
+                    "basic generates the most ping traffic (2x effect)",
+                    bool(t["basic"] >= max(t["regular"], t["random"], t["hybrid"])),
+                    f"totals={t}",
+                )
+            )
+            # Hybrid skew: its top (master) node receives a larger share
+            # of pings than regular's top node.
+            skew = {
+                alg: float(s[alg]["curve"][0] / max(s[alg]["curve"].sum(), 1))
+                for alg in result.algorithms()
+            }
+            checks.append(
+                (
+                    "hybrid load is skewed toward masters",
+                    bool(skew["hybrid"] >= skew["regular"]),
+                    f"top-node share={ {k: round(v, 3) for k, v in skew.items()} }",
+                )
+            )
+        elif fam == "query":
+            skew = {
+                alg: float(s[alg]["curve"][0] / max(s[alg]["curve"].sum(), 1))
+                for alg in result.algorithms()
+            }
+            checks.append(
+                (
+                    "hybrid queries are skewed toward masters",
+                    bool(skew["hybrid"] >= skew["regular"]),
+                    f"top-node share={ {k: round(v, 3) for k, v in skew.items()} }",
+                )
+            )
+        for alg in result.algorithms():
+            curve = s[alg]["curve"]
+            checks.append(
+                (
+                    f"{alg}: curve sorted decreasing",
+                    bool((np.diff(curve) <= 1e-9).all()),
+                    f"head={curve[:3]}",
+                )
+            )
+    return checks

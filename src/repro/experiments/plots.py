@@ -1,0 +1,106 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+No matplotlib in the reproduction environment, so the harness draws its
+own: multi-series line charts on a character grid, with axis labels and
+a legend.  Good enough to eyeball the curve shapes of Figures 5-12 next
+to the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart", "figure_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    Each series is sampled/interpolated onto ``width`` columns; the
+    y-range spans all finite values across all series.
+    """
+    if not series:
+        return "(no data)"
+    finite_vals = [
+        v
+        for vals in series.values()
+        for v in np.asarray(vals, dtype=float).ravel()
+        if np.isfinite(v)
+    ]
+    if not finite_vals:
+        return "(no finite data)"
+    lo, hi = min(finite_vals), max(finite_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, (name, vals) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        vals = np.asarray(vals, dtype=float).ravel()
+        if vals.size == 0:
+            continue
+        xs = np.linspace(0, vals.size - 1, width)
+        interp = np.interp(xs, np.arange(vals.size), vals)
+        for col, v in enumerate(interp):
+            if not np.isfinite(v):
+                continue
+            row = int(round((hi - v) / (hi - lo) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{hi:.4g}"
+    y_bot = f"{lo:.4g}"
+    label_w = max(len(y_top), len(y_bot), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_top.rjust(label_w)
+        elif r == height - 1:
+            prefix = y_bot.rjust(label_w)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    if x_label:
+        lines.append(" " * (label_w + 2) + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def figure_chart(result, key: str = "curve", **kwargs) -> str:
+    """Chart a FigureResult: one line per algorithm.
+
+    ``key`` picks the series ("curve" for Figures 7-12; "distance" or
+    "answers" for Figures 5/6).
+    """
+    series = {
+        alg: result.series[alg][key]
+        for alg in result.algorithms()
+        if key in result.series[alg]
+    }
+    defaults = {
+        "title": f"{result.exp_id} ({key}, {result.num_nodes} nodes)",
+        "x_label": "file rank" if key in ("distance", "answers") else "node (sorted)",
+        "y_label": key,
+    }
+    defaults.update(kwargs)
+    return ascii_chart(series, **defaults)

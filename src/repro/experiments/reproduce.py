@@ -1,0 +1,117 @@
+"""One-call reproduction of the paper's entire evaluation.
+
+:func:`reproduce_all` runs Tables 1-2 and Figures 5-12, writes every
+result to an output directory (text report + JSON + CSV per figure,
+plus a summary with the paper-claim verdicts), and returns the results
+in memory.  The CLI exposes it as ``p2p-manet reproduce``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .export import figure_result_to_csv, figure_result_to_json
+from .figures import FigureResult, run_figure
+from .paper_values import compare_with_paper
+from .report import (
+    render_figure,
+    render_paper_comparison,
+    render_table,
+)
+from .tables import table1_rows, table2_rows
+
+__all__ = ["reproduce_all", "DEFAULT_FIGURE_SETTINGS"]
+
+#: laptop-scale defaults per figure: (duration seconds, repetitions)
+DEFAULT_FIGURE_SETTINGS: Dict[str, tuple] = {
+    "fig5": (400.0, 2),
+    "fig6": (240.0, 1),
+    "fig7": (400.0, 2),
+    "fig8": (240.0, 1),
+    "fig9": (400.0, 2),
+    "fig10": (240.0, 1),
+    "fig11": (400.0, 2),
+    "fig12": (240.0, 1),
+}
+
+
+def reproduce_all(
+    out_dir: str,
+    *,
+    figures: Optional[Sequence[str]] = None,
+    duration: Optional[float] = None,
+    reps: Optional[int] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, FigureResult]:
+    """Run the full evaluation and write artifacts under ``out_dir``.
+
+    Parameters
+    ----------
+    out_dir:
+        Created if missing.  Gets ``tables.txt``, per-figure
+        ``<fig>.txt`` / ``<fig>.json`` / ``<fig>.csv``, and
+        ``SUMMARY.md``.
+    figures:
+        Subset to run (default: all eight).
+    duration, reps:
+        Override every figure's settings (default: per-figure
+        laptop-scale values; the paper scale is 3600 / 33).
+    """
+    wanted = list(figures) if figures is not None else list(DEFAULT_FIGURE_SETTINGS)
+    unknown = [f for f in wanted if f not in DEFAULT_FIGURE_SETTINGS]
+    if unknown:
+        raise ValueError(f"unknown figures: {unknown}")
+    os.makedirs(out_dir, exist_ok=True)
+    say = progress if progress is not None else (lambda s: None)
+
+    tables_txt = (
+        render_table(table1_rows(), title="Table 1. Topologies and their characteristics.")
+        + "\n\n"
+        + render_table(table2_rows(), title="Table 2. Parameters used and their typical values.")
+        + "\n"
+    )
+    with open(os.path.join(out_dir, "tables.txt"), "w") as fh:
+        fh.write(tables_txt)
+    say("tables written")
+
+    results: Dict[str, FigureResult] = {}
+    summary: List[str] = ["# Reproduction summary", ""]
+    agree = differ = 0
+    for exp_id in wanted:
+        d, r = DEFAULT_FIGURE_SETTINGS[exp_id]
+        d = duration if duration is not None else d
+        r = reps if reps is not None else r
+        say(f"running {exp_id} ({d:g}s x {r})...")
+        result = run_figure(exp_id, duration=d, reps=r, seed=seed)
+        results[exp_id] = result
+        with open(os.path.join(out_dir, f"{exp_id}.txt"), "w") as fh:
+            fh.write(render_figure(result) + "\n\n" + render_paper_comparison(result) + "\n")
+        with open(os.path.join(out_dir, f"{exp_id}.json"), "w") as fh:
+            fh.write(figure_result_to_json(result))
+        with open(os.path.join(out_dir, f"{exp_id}.csv"), "w") as fh:
+            fh.write(figure_result_to_csv(result))
+        rows = compare_with_paper(result)
+        for row in rows:
+            if row["holds"] is True:
+                agree += 1
+            elif row["holds"] is False:
+                differ += 1
+        verdicts = ", ".join(
+            ("OK" if row["holds"] else "DIFFERS") if row["holds"] is not None else "n/a"
+            for row in rows
+        )
+        summary.append(f"* **{exp_id}** ({d:g}s x {r}): {verdicts}")
+        say(f"{exp_id} done")
+
+    summary += [
+        "",
+        f"paper claims checked: {agree + differ}, agreeing: {agree}, differing: {differ}",
+        "",
+        "Artifacts: tables.txt, <fig>.txt/json/csv per figure.",
+    ]
+    with open(os.path.join(out_dir, "SUMMARY.md"), "w") as fh:
+        fh.write("\n".join(summary) + "\n")
+    say("summary written")
+    return results

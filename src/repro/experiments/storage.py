@@ -1,0 +1,107 @@
+"""Result storage: an append-only ndjson archive of runs.
+
+Long evaluations (33-rep sweeps) should survive the Python process.
+:class:`ResultStore` appends tagged records -- one JSON object per line,
+so files are greppable, diffable and stream-loadable -- and supports
+filtered loading.  RunResults and FigureResults serialize through
+:mod:`repro.experiments.export`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..scenarios.runner import RunResult
+from .export import figure_result_to_dict, run_result_to_dict
+from .figures import FigureResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only archive of experiment records.
+
+    Parameters
+    ----------
+    path:
+        The ndjson file (created on first append; parent directory must
+        exist).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, payload: Dict[str, Any], **tags: Any) -> Dict[str, Any]:
+        """Append one record; returns it (with envelope fields added).
+
+        The envelope carries ``kind``, ``tags`` and a wall-clock
+        ``recorded_at`` so archives from different sessions interleave
+        safely.
+        """
+        record = {
+            "kind": kind,
+            "tags": {str(k): v for k, v in tags.items()},
+            "recorded_at": time.time(),
+            "payload": payload,
+        }
+        line = json.dumps(record)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+        return record
+
+    def append_run(self, result: RunResult, **tags: Any) -> Dict[str, Any]:
+        """Archive a scenario run."""
+        return self.append("run", run_result_to_dict(result), **tags)
+
+    def append_figure(self, result: FigureResult, **tags: Any) -> Dict[str, Any]:
+        """Archive a reproduced figure."""
+        return self.append("figure", figure_result_to_dict(result), **tags)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        *,
+        kind: Optional[str] = None,
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        **tag_filters: Any,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield records matching the filters (missing file = empty)."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if kind is not None and record.get("kind") != kind:
+                    continue
+                tags = record.get("tags", {})
+                if any(tags.get(k) != v for k, v in tag_filters.items()):
+                    continue
+                if where is not None and not where(record):
+                    continue
+                yield record
+
+    def load(self, **kwargs) -> List[Dict[str, Any]]:
+        """Materialized :meth:`records`."""
+        return list(self.records(**kwargs))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def latest(self, **kwargs) -> Optional[Dict[str, Any]]:
+        """Most recently recorded matching record, or None."""
+        best = None
+        for record in self.records(**kwargs):
+            if best is None or record["recorded_at"] >= best["recorded_at"]:
+                best = record
+        return best

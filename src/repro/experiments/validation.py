@@ -1,0 +1,123 @@
+"""Statistical comparison of runs -- are two conditions really different?
+
+The paper reports averages of 33 repetitions without significance
+analysis.  These helpers add it for our sweeps and ablations:
+
+* :func:`ks_curve_test` -- Kolmogorov-Smirnov on two per-node message
+  curves (do two conditions induce different load *distributions*?);
+* :func:`means_differ` -- Welch's t-test on per-repetition scalars;
+* :func:`ordering_stability` -- how often a claimed ordering
+  ("basic > regular") holds across seeds, the robustness number behind
+  every shape check.
+
+scipy is used when available; a normal-approximation fallback keeps the
+module importable without it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ks_curve_test", "means_differ", "ordering_stability"]
+
+
+def ks_curve_test(a: np.ndarray, b: np.ndarray) -> Tuple[float, float]:
+    """Two-sample KS test on per-node load curves.
+
+    Returns ``(statistic, p_value)``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("need non-empty samples")
+    try:
+        from scipy import stats
+
+        res = stats.ks_2samp(a, b)
+        return float(res.statistic), float(res.pvalue)
+    except ImportError:  # pragma: no cover - scipy present in dev env
+        # asymptotic fallback
+        all_v = np.sort(np.concatenate([a, b]))
+        cdf_a = np.searchsorted(np.sort(a), all_v, side="right") / a.size
+        cdf_b = np.searchsorted(np.sort(b), all_v, side="right") / b.size
+        d = float(np.max(np.abs(cdf_a - cdf_b)))
+        en = np.sqrt(a.size * b.size / (a.size + b.size))
+        p = 2.0 * np.exp(-2.0 * (d * en) ** 2)
+        return d, min(max(p, 0.0), 1.0)
+
+
+def means_differ(
+    xs: Sequence[float], ys: Sequence[float], alpha: float = 0.05
+) -> Dict[str, float]:
+    """Welch's t-test on two sets of per-repetition scalars.
+
+    Returns ``{"t", "p", "significant", "mean_x", "mean_y"}``.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2 or y.size < 2:
+        raise ValueError("need >= 2 repetitions per condition")
+    try:
+        from scipy import stats
+
+        t, p = stats.ttest_ind(x, y, equal_var=False)
+        t, p = float(t), float(p)
+    except ImportError:  # pragma: no cover
+        vx, vy = x.var(ddof=1), y.var(ddof=1)
+        se = np.sqrt(vx / x.size + vy / y.size)
+        t = float((x.mean() - y.mean()) / se) if se > 0 else 0.0
+        # normal approximation
+        from math import erf, sqrt
+
+        p = float(2 * (1 - 0.5 * (1 + erf(abs(t) / sqrt(2)))))
+    return {
+        "t": t,
+        "p": p,
+        "significant": float(p < alpha),
+        "mean_x": float(x.mean()),
+        "mean_y": float(y.mean()),
+    }
+
+
+def ordering_stability(
+    metric: Callable[[int], Dict[str, float]],
+    ordering: Sequence[str],
+    seeds: Sequence[int],
+) -> Dict[str, float]:
+    """How robust is a claimed ordering across seeds?
+
+    Parameters
+    ----------
+    metric:
+        ``metric(seed) -> {condition: value}``.
+    ordering:
+        The claim, e.g. ``("basic", "random", "regular")`` meaning
+        basic >= random >= regular.
+    seeds:
+        Seeds to evaluate.
+
+    Returns ``{"fraction_holds", "n", "per_pair": ...}`` where
+    ``per_pair`` maps "a>=b" to its hold fraction.
+    """
+    if len(ordering) < 2:
+        raise ValueError("ordering needs at least two conditions")
+    pair_holds = {f"{a}>={b}": 0 for a, b in zip(ordering, ordering[1:])}
+    full_holds = 0
+    for seed in seeds:
+        values = metric(seed)
+        ok = True
+        for a, b in zip(ordering, ordering[1:]):
+            if values[a] >= values[b]:
+                pair_holds[f"{a}>={b}"] += 1
+            else:
+                ok = False
+        if ok:
+            full_holds += 1
+    n = len(seeds)
+    return {
+        "fraction_holds": full_holds / n,
+        "n": float(n),
+        "per_pair": {k: v / n for k, v in pair_holds.items()},
+    }

@@ -1,0 +1,54 @@
+"""Metrics: received-message counters, small-world stats, aggregation."""
+
+from .aggregate import FileRankStats, mean_ci, per_file_stats, sorted_curve_mean
+from .balance import gini, jain_fairness, load_balance_report, lorenz_curve
+from .collector import FAMILIES, MetricsCollector
+from .connectivity import (
+    components,
+    connectivity_stats,
+    expected_mean_degree,
+    reachable_pair_fraction,
+)
+from .lifetimes import ClosedConnection, LifetimeLog, lifetime_summary
+from .timeseries import (
+    Sampler,
+    probe_alive,
+    probe_family_total,
+    probe_mean_degree,
+)
+from .smallworld import (
+    characteristic_path_length,
+    clustering_coefficient,
+    random_graph_pathlength,
+    regular_graph_pathlength,
+    smallworld_stats,
+)
+
+__all__ = [
+    "components",
+    "connectivity_stats",
+    "expected_mean_degree",
+    "reachable_pair_fraction",
+    "ClosedConnection",
+    "LifetimeLog",
+    "lifetime_summary",
+    "Sampler",
+    "probe_alive",
+    "probe_family_total",
+    "probe_mean_degree",
+    "gini",
+    "jain_fairness",
+    "load_balance_report",
+    "lorenz_curve",
+    "FileRankStats",
+    "mean_ci",
+    "per_file_stats",
+    "sorted_curve_mean",
+    "FAMILIES",
+    "MetricsCollector",
+    "characteristic_path_length",
+    "clustering_coefficient",
+    "random_graph_pathlength",
+    "regular_graph_pathlength",
+    "smallworld_stats",
+]

@@ -1,0 +1,75 @@
+"""Physical-connectivity analytics.
+
+The paper's scenarios are *sparse*: 50 nodes with 10 m radios on
+100 m x 100 m average ~1.6 neighbours, so the ad-hoc network is usually
+partitioned.  These helpers quantify that (component structure,
+isolation, reachable-pair fraction) -- the denominator behind every
+answer-rate number in the density and mobility studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..net.world import World
+
+__all__ = [
+    "components",
+    "connectivity_stats",
+    "reachable_pair_fraction",
+    "expected_mean_degree",
+]
+
+
+def components(world: World) -> List[np.ndarray]:
+    """Connected components of the current radio graph (largest first)."""
+    n = world.n
+    seen = np.zeros(n, dtype=bool)
+    out: List[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        dist = world.hops_from(start)
+        comp = np.flatnonzero(dist >= 0)
+        seen[comp] = True
+        out.append(comp)
+    out.sort(key=len, reverse=True)
+    return out
+
+
+def reachable_pair_fraction(world: World) -> float:
+    """Fraction of ordered node pairs with a multi-hop path right now."""
+    comps = components(world)
+    n = world.n
+    if n < 2:
+        return 1.0
+    reachable = sum(len(c) * (len(c) - 1) for c in comps)
+    return reachable / (n * (n - 1))
+
+
+def connectivity_stats(world: World) -> Dict[str, float]:
+    """Bundle: component count/sizes, isolated nodes, degree, pairs."""
+    comps = components(world)
+    adj = world.adjacency()
+    degrees = adj.sum(axis=1)
+    return {
+        "components": float(len(comps)),
+        "largest_component": float(len(comps[0])) if comps else 0.0,
+        "largest_fraction": float(len(comps[0])) / world.n if comps else 0.0,
+        "isolated": float(sum(1 for c in comps if len(c) == 1)),
+        "mean_degree": float(degrees.mean()),
+        "reachable_pairs": reachable_pair_fraction(world),
+    }
+
+
+def expected_mean_degree(n: int, area_w: float, area_h: float, radio_range: float) -> float:
+    """Poisson approximation of the mean degree: ``(n-1) * pi r^2 / A``.
+
+    Edge effects make the true value lower; useful as a sizing guide
+    when designing density sweeps.
+    """
+    if n < 1 or area_w <= 0 or area_h <= 0 or radio_range <= 0:
+        raise ValueError("invalid geometry")
+    return (n - 1) * np.pi * radio_range**2 / (area_w * area_h)

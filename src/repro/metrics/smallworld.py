@@ -1,0 +1,103 @@
+"""Small-world graph metrics (§6.1.2 of the paper).
+
+The paper motivates the Random algorithm with Watts-Strogatz
+small-world theory: a small-world graph has the *high clustering
+coefficient* of a regular graph and the *short characteristic path
+length* of a random graph.  This module computes both, plus the
+regular/random-graph reference values the paper quotes
+(``n/2k`` and ``log n / log k``).
+
+Implementations are self-contained (numpy over an adjacency matrix);
+tests cross-check them against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "clustering_coefficient",
+    "characteristic_path_length",
+    "regular_graph_pathlength",
+    "random_graph_pathlength",
+    "smallworld_stats",
+]
+
+
+def clustering_coefficient(g: nx.Graph) -> float:
+    """Average clustering coefficient.
+
+    For each node: ``real_conn / possible_conn`` over its neighbourhood
+    (exactly the paper's definition); nodes with < 2 neighbours
+    contribute 0.  Returns the average over all nodes, 0.0 for an empty
+    graph.
+    """
+    if g.number_of_nodes() == 0:
+        return 0.0
+    nodes = list(g.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    adj = np.zeros((n, n), dtype=bool)
+    for u, v in g.edges:
+        adj[index[u], index[v]] = adj[index[v], index[u]] = True
+    total = 0.0
+    for i in range(n):
+        nbrs = np.flatnonzero(adj[i])
+        k = len(nbrs)
+        if k < 2:
+            continue
+        sub = adj[np.ix_(nbrs, nbrs)]
+        real = sub.sum() / 2
+        possible = k * (k - 1) / 2
+        total += real / possible
+    return total / n
+
+
+def characteristic_path_length(g: nx.Graph) -> float:
+    """Mean shortest-path length over all connected ordered pairs.
+
+    Disconnected pairs are excluded (the overlay is often fragmented in
+    sparse scenarios); returns ``nan`` when no pair is connected.
+    """
+    total = 0.0
+    pairs = 0
+    for _, lengths in nx.all_pairs_shortest_path_length(g):
+        for d in lengths.values():
+            if d > 0:
+                total += d
+                pairs += 1
+    return total / pairs if pairs else float("nan")
+
+
+def regular_graph_pathlength(n: int, k: int) -> float:
+    """The paper's large-regular-graph approximation ``n / 2k``."""
+    if n <= 0 or k <= 0:
+        raise ValueError("n and k must be positive")
+    return n / (2.0 * k)
+
+
+def random_graph_pathlength(n: int, k: int) -> float:
+    """The paper's large-random-graph approximation ``log n / log k``."""
+    if n <= 1 or k <= 1:
+        raise ValueError("need n > 1 and k > 1")
+    return float(np.log(n) / np.log(k))
+
+
+def smallworld_stats(g: nx.Graph) -> Dict[str, float]:
+    """Clustering + path length + the two reference values for this n,k."""
+    n = g.number_of_nodes()
+    degrees = [d for _, d in g.degree]
+    k = float(np.mean(degrees)) if degrees else 0.0
+    stats = {
+        "n": float(n),
+        "mean_degree": k,
+        "clustering": clustering_coefficient(g),
+        "path_length": characteristic_path_length(g),
+    }
+    if n > 1 and k > 1:
+        stats["regular_ref"] = regular_graph_pathlength(n, max(int(round(k)), 1))
+        stats["random_ref"] = random_graph_pathlength(n, max(int(round(k)), 2))
+    return stats

@@ -1,0 +1,81 @@
+"""Random Direction mobility (Camp et al. survey, §2.3).
+
+The node picks a uniform direction, travels in it *all the way to the
+area boundary*, pauses there, then picks a new direction.  Compared to
+random waypoint, this removes the well-known density bias toward the
+area centre -- nodes spend more time near the edges, which stresses the
+(re)configuration algorithms with longer, sparser paths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Area, MobilityModel
+
+__all__ = ["RandomDirection"]
+
+
+class RandomDirection(MobilityModel):
+    """Travel to the boundary, pause, turn.
+
+    Parameters
+    ----------
+    min_speed, max_speed:
+        Uniform speed range (m/s), lower bound > 0.
+    max_pause:
+        Uniform pause bound at each boundary hit (s).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        area: Area,
+        rng: np.random.Generator,
+        *,
+        min_speed: float = 0.1,
+        max_speed: float = 1.0,
+        max_pause: float = 60.0,
+    ) -> None:
+        if not 0 < min_speed <= max_speed:
+            raise ValueError(
+                f"need 0 < min_speed <= max_speed, got {min_speed}, {max_speed}"
+            )
+        if max_pause < 0:
+            raise ValueError(f"max_pause must be >= 0, got {max_pause}")
+        self.min_speed = float(min_speed)
+        self.max_speed = float(max_speed)
+        self.max_pause = float(max_pause)
+        self._pause_next = np.zeros(n, dtype=bool)
+        super().__init__(n, area, rng)
+
+    def _time_to_boundary(self, pos: np.ndarray, vel: np.ndarray) -> float:
+        """Seconds until the ray pos + t*vel first exits the area."""
+        t_exit = np.inf
+        for axis, limit in ((0, self.area.width), (1, self.area.height)):
+            v = vel[axis]
+            if v > 1e-12:
+                t_exit = min(t_exit, (limit - pos[axis]) / v)
+            elif v < -1e-12:
+                t_exit = min(t_exit, (0.0 - pos[axis]) / v)
+        return float(t_exit)
+
+    def _next_segment(self, i: int, t: float, pos: np.ndarray) -> Tuple[float, np.ndarray]:
+        rng = self._rngs[i]
+        if self._pause_next[i]:
+            self._pause_next[i] = False
+            return max(float(rng.uniform(0.0, self.max_pause)), 1e-6), pos.copy()
+        self._pause_next[i] = True
+        theta = float(rng.uniform(0.0, 2.0 * np.pi))
+        speed = float(rng.uniform(self.min_speed, self.max_speed))
+        vel = speed * np.array([np.cos(theta), np.sin(theta)])
+        dur = self._time_to_boundary(pos, vel)
+        if not np.isfinite(dur) or dur <= 1e-9:
+            # Already on the boundary pointing outward: tiny pause, re-roll.
+            return 1e-6, pos.copy()
+        dest = pos + vel * dur
+        dest[0] = min(max(dest[0], 0.0), self.area.width)
+        dest[1] = min(max(dest[1], 0.0), self.area.height)
+        return dur, dest

@@ -1,0 +1,113 @@
+"""Gauss-Markov mobility (Camp et al. survey, §2.5).
+
+The paper's future work (§8) targets "the effects of ... mobility"; the
+Camp-Boleng-Davies survey it cites [1] lists Gauss-Markov as the
+standard *temporally correlated* model: speed and direction evolve as
+
+    s_t = a * s_{t-1} + (1 - a) * mean_speed     + sqrt(1 - a^2) * w_s
+    d_t = a * d_{t-1} + (1 - a) * mean_direction + sqrt(1 - a^2) * w_d
+
+with ``a`` the memory parameter (0 = Brownian, 1 = linear motion) and
+``w`` Gaussian noise.  Near an edge the mean direction is steered back
+toward the area centre, the survey's standard boundary treatment.
+
+Each update interval becomes one linear segment, so the model fits the
+piecewise-linear machinery of :class:`~repro.mobility.base.MobilityModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Area, MobilityModel
+
+__all__ = ["GaussMarkov"]
+
+
+class GaussMarkov(MobilityModel):
+    """Temporally correlated mobility.
+
+    Parameters
+    ----------
+    alpha:
+        Memory parameter in [0, 1].
+    mean_speed:
+        Asymptotic mean speed (m/s).
+    speed_sigma, direction_sigma:
+        Standard deviations of the Gaussian innovations.
+    update_interval:
+        Seconds between (speed, direction) updates = segment length.
+    margin:
+        Distance from an edge at which the mean direction is steered
+        toward the centre.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        area: Area,
+        rng: np.random.Generator,
+        *,
+        alpha: float = 0.75,
+        mean_speed: float = 1.0,
+        speed_sigma: float = 0.3,
+        direction_sigma: float = 0.6,
+        update_interval: float = 5.0,
+        margin: float = 5.0,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if mean_speed <= 0:
+            raise ValueError(f"mean_speed must be positive, got {mean_speed}")
+        if update_interval <= 0:
+            raise ValueError(f"update_interval must be positive, got {update_interval}")
+        self.alpha = float(alpha)
+        self.mean_speed = float(mean_speed)
+        self.speed_sigma = float(speed_sigma)
+        self.direction_sigma = float(direction_sigma)
+        self.update_interval = float(update_interval)
+        self.margin = float(margin)
+        self._speed = np.full(n, mean_speed)
+        self._dir = np.zeros(n)
+        self._dir_init = np.zeros(n, dtype=bool)
+        super().__init__(n, area, rng)
+
+    def _mean_direction(self, pos: np.ndarray, current: float) -> float:
+        """Steer toward the centre when hugging an edge (survey §2.5)."""
+        x, y = pos
+        w, h = self.area.width, self.area.height
+        near_left = x < self.margin
+        near_right = x > w - self.margin
+        near_bottom = y < self.margin
+        near_top = y > h - self.margin
+        if not (near_left or near_right or near_bottom or near_top):
+            return current
+        return float(np.arctan2(h / 2.0 - y, w / 2.0 - x))
+
+    def _next_segment(self, i: int, t: float, pos: np.ndarray) -> Tuple[float, np.ndarray]:
+        rng = self._rngs[i]
+        if not self._dir_init[i]:
+            self._dir[i] = rng.uniform(0.0, 2.0 * np.pi)
+            self._dir_init[i] = True
+        a = self.alpha
+        root = np.sqrt(max(1.0 - a * a, 0.0))
+        mean_dir = self._mean_direction(pos, float(self._dir[i]))
+        self._speed[i] = (
+            a * self._speed[i]
+            + (1 - a) * self.mean_speed
+            + root * self.speed_sigma * rng.standard_normal()
+        )
+        self._speed[i] = float(np.clip(self._speed[i], 0.01, 3.0 * self.mean_speed))
+        self._dir[i] = (
+            a * self._dir[i]
+            + (1 - a) * mean_dir
+            + root * self.direction_sigma * rng.standard_normal()
+        )
+        vel = self._speed[i] * np.array([np.cos(self._dir[i]), np.sin(self._dir[i])])
+        dest = pos + vel * self.update_interval
+        # Clamp inside the area; the steering above makes this rare.
+        dest[0] = min(max(dest[0], 0.0), self.area.width)
+        dest[1] = min(max(dest[1], 0.0), self.area.height)
+        return self.update_interval, dest

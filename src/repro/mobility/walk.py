@@ -1,0 +1,67 @@
+"""Random-walk (random-direction) mobility.
+
+Not used by the paper's headline experiments but provided for the
+future-work sweeps (§8: "effects of ... mobility"): each epoch the node
+picks a uniform direction and constant speed and walks for a fixed epoch
+duration, reflecting off the area boundary.  Reflection is implemented by
+clipping the epoch at the first boundary crossing, which keeps segments
+linear (the trajectory stays piecewise-linear as the base class needs).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Area, MobilityModel
+
+__all__ = ["RandomWalk"]
+
+
+class RandomWalk(MobilityModel):
+    """Boundary-reflecting random walk with per-epoch direction changes.
+
+    Parameters
+    ----------
+    speed:
+        Constant movement speed (m/s).
+    epoch:
+        Nominal duration of each straight-line leg (s); legs are cut
+        short at area boundaries.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        area: Area,
+        rng: np.random.Generator,
+        *,
+        speed: float = 1.0,
+        epoch: float = 60.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if epoch <= 0:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        self.speed = float(speed)
+        self.epoch = float(epoch)
+        super().__init__(n, area, rng)
+
+    def _next_segment(self, i: int, t: float, pos: np.ndarray) -> Tuple[float, np.ndarray]:
+        theta = float(self._rngs[i].uniform(0.0, 2.0 * np.pi))
+        vel = np.array([np.cos(theta), np.sin(theta)]) * self.speed
+        dur = self.epoch
+        # Clip the leg at the first boundary crossing along each axis.
+        for axis, limit in ((0, self.area.width), (1, self.area.height)):
+            v = vel[axis]
+            if v > 1e-12:
+                dur = min(dur, (limit - pos[axis]) / v)
+            elif v < -1e-12:
+                dur = min(dur, (0.0 - pos[axis]) / v)
+        dur = max(dur, 1e-6)  # already on a boundary moving outwards
+        dest = pos + vel * dur
+        # Numerical safety: keep strictly inside.
+        dest[0] = min(max(dest[0], 0.0), self.area.width)
+        dest[1] = min(max(dest[1], 0.0), self.area.height)
+        return dur, dest

@@ -1,0 +1,78 @@
+"""Random-waypoint mobility (the paper's "Random Way model" [Camp et al.]).
+
+Each node alternates:
+
+1. a pause drawn uniformly from ``[0, max_pause]`` (the paper uses a
+   maximum pause of 100 s), then
+2. a straight-line move to a waypoint drawn uniformly from the area, at
+   a speed drawn uniformly from ``(min_speed, max_speed]`` (the paper
+   uses a 1.0 m/s maximum, human walking pace).
+
+``min_speed`` defaults to a small positive value; the classic pitfall of
+random waypoint is that ``min_speed = 0`` makes average speed decay over
+time (nodes get stuck in near-zero-speed epochs), so we keep a floor.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Area, MobilityModel
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint(MobilityModel):
+    """Random-waypoint model with uniform pauses and speeds.
+
+    Parameters
+    ----------
+    n, area, rng:
+        See :class:`~repro.mobility.base.MobilityModel`.
+    max_speed:
+        Upper bound on movement speed (m/s).  Paper: 1.0.
+    min_speed:
+        Lower bound (must be > 0 to avoid the speed-decay pathology).
+    max_pause:
+        Upper bound on pause duration (s).  Paper: 100.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        area: Area,
+        rng: np.random.Generator,
+        *,
+        max_speed: float = 1.0,
+        min_speed: float = 0.05,
+        max_pause: float = 100.0,
+    ) -> None:
+        if not 0 < min_speed <= max_speed:
+            raise ValueError(
+                f"need 0 < min_speed <= max_speed, got {min_speed}, {max_speed}"
+            )
+        if max_pause < 0:
+            raise ValueError(f"max_pause must be >= 0, got {max_pause}")
+        self.max_speed = float(max_speed)
+        self.min_speed = float(min_speed)
+        self.max_pause = float(max_pause)
+        # Per-node flag: is the *next* segment a pause?  Nodes start paused
+        # (they were just placed), matching the survey's description.
+        self._pause_next = np.ones(n, dtype=bool)
+        super().__init__(n, area, rng)
+
+    def _next_segment(self, i: int, t: float, pos: np.ndarray) -> Tuple[float, np.ndarray]:
+        if self._pause_next[i]:
+            self._pause_next[i] = False
+            # A zero draw would create a zero-length segment; floor it.
+            pause = max(float(self._rngs[i].uniform(0.0, self.max_pause)), 1e-6)
+            return pause, pos.copy()
+        self._pause_next[i] = True
+        dest = self.area.sample(self._rngs[i], 1)[0]
+        speed = float(self._rngs[i].uniform(self.min_speed, self.max_speed))
+        dist = float(np.hypot(*(dest - pos)))
+        if dist < 1e-12:  # degenerate waypoint: treat as a tiny pause
+            return 1e-6, pos.copy()
+        return dist / speed, dest

@@ -1,0 +1,23 @@
+"""Network substrate: unit-disk radio world, frames, flooding, energy."""
+
+from .broadcast import FloodManager, FloodMessage
+from .energy import EnergyModel
+from .packet import BROADCAST, DEFAULT_FRAME_BYTES, Frame
+from .radio import Channel, NetNode
+from .render import render_overlay_summary, render_world
+from .world import UNREACHABLE, World
+
+__all__ = [
+    "FloodManager",
+    "FloodMessage",
+    "EnergyModel",
+    "BROADCAST",
+    "DEFAULT_FRAME_BYTES",
+    "Frame",
+    "Channel",
+    "NetNode",
+    "render_overlay_summary",
+    "render_world",
+    "UNREACHABLE",
+    "World",
+]

@@ -1,0 +1,143 @@
+"""Controlled multi-hop broadcast (TTL-limited flooding with dedup).
+
+The paper's authors patched ns-2's AODV with "a controlled broadcast
+function such that each node has a cache to keep track of the broadcast
+messages received.  This mechanism avoids forwarding the same message
+several times."  This module is that mechanism: every flooded message
+carries a globally unique ``(origin, seq)`` id; each node forwards a
+given id at most once, and forwarding stops when the hop budget is
+spent.
+
+Upper layers (p2p discovery, AODV RREQ) use a :class:`FloodManager`
+per node and receive deliveries through a callback that also reports the
+hop count the copy travelled -- which is how peers learn their ad-hoc
+distance to a discovered neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from .packet import DEFAULT_FRAME_BYTES, Frame
+from .radio import Channel, NetNode
+
+__all__ = ["FloodMessage", "FloodManager"]
+
+FloodId = Tuple[int, int]
+
+
+@dataclass(slots=True)
+class FloodMessage:
+    """Envelope for a flooded payload.
+
+    Attributes
+    ----------
+    fid:
+        Unique flood id ``(origin, seq)``.
+    origin:
+        Originating node.
+    hops:
+        Hops travelled by THIS copy (0 when leaving the origin).
+    budget:
+        Remaining hop budget; a node only re-broadcasts if, after
+        incrementing ``hops``, budget remains.
+    payload:
+        Upper-layer message.
+    """
+
+    fid: FloodId
+    origin: int
+    hops: int
+    budget: int
+    payload: Any
+
+
+class FloodManager:
+    """Per-node controlled-broadcast agent.
+
+    Parameters
+    ----------
+    node:
+        The owning network node.
+    channel:
+        The radio channel.
+    kind:
+        Frame kind to claim; lets several independent flood planes
+        coexist (e.g. ``"p2p.flood"`` vs ``"aodv.rreq"``).
+    deliver:
+        Callback ``deliver(origin, payload, hops)`` invoked exactly once
+        per flood id heard (first copy wins, matching the dedup cache).
+    count_duplicate:
+        Optional callback invoked for each suppressed duplicate copy
+        (metrics; the radio energy was already charged by the channel).
+    """
+
+    def __init__(
+        self,
+        node: NetNode,
+        channel: Channel,
+        kind: str,
+        deliver: Optional[Callable[[int, Any, int], None]] = None,
+        count_duplicate: Optional[Callable[[int, Any], None]] = None,
+    ) -> None:
+        self.node = node
+        self.channel = channel
+        self.kind = kind
+        self.deliver = deliver
+        self.count_duplicate = count_duplicate
+        self._seq = 0
+        self._seen: Set[FloodId] = set()
+        node.register(kind, self._on_frame)
+
+    # ------------------------------------------------------------------
+    def originate(self, payload: Any, nhops: int, size: int = DEFAULT_FRAME_BYTES) -> FloodId:
+        """Flood ``payload`` to every node within ``nhops`` ad-hoc hops.
+
+        Returns the flood id.  ``nhops`` must be >= 1 (a 0-hop flood
+        reaches nobody and is rejected to catch caller bugs).
+        """
+        if nhops < 1:
+            raise ValueError(f"nhops must be >= 1, got {nhops}")
+        fid = (self.node.nid, self._seq)
+        self._seq += 1
+        self._seen.add(fid)  # the origin never re-forwards its own flood
+        msg = FloodMessage(fid=fid, origin=self.node.nid, hops=0, budget=int(nhops), payload=payload)
+        self.channel.broadcast(
+            Frame(src=self.node.nid, dst=-1, kind=self.kind, payload=msg, size=size)
+        )
+        return fid
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        msg: FloodMessage = frame.payload
+        if msg.fid in self._seen:
+            if self.count_duplicate is not None:
+                self.count_duplicate(msg.origin, msg.payload)
+            return
+        self._seen.add(msg.fid)
+        hops_here = msg.hops + 1
+        if self.deliver is not None:
+            self.deliver(msg.origin, msg.payload, hops_here)
+        remaining = msg.budget - 1
+        if remaining > 0:
+            fwd = FloodMessage(
+                fid=msg.fid,
+                origin=msg.origin,
+                hops=hops_here,
+                budget=remaining,
+                payload=msg.payload,
+            )
+            self.channel.broadcast(
+                Frame(src=self.node.nid, dst=-1, kind=self.kind, payload=fwd, size=frame.size)
+            )
+
+    # ------------------------------------------------------------------
+    def reset_cache(self) -> None:
+        """Forget seen flood ids (tests / very long runs)."""
+        self._seen.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of flood ids remembered by the dedup cache."""
+        return len(self._seen)

@@ -1,0 +1,152 @@
+"""Unit-disk radio channel.
+
+The channel is collision-free (see DESIGN.md §4 for why this
+substitution preserves the paper's compared effects): a transmission
+reaches exactly the nodes within ``radio_range`` of the sender at the
+moment of transmission, after a fixed per-hop ``latency``.
+
+Energy is charged per the world's :class:`~repro.net.energy.EnergyModel`
+-- once per transmission for the sender and once per delivered copy for
+each receiver (broadcasts charge every listener: radios cannot refuse to
+hear).  Depleted or administratively-down nodes neither send nor
+receive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..sim.kernel import Simulator
+from .packet import BROADCAST, Frame
+from .world import World
+
+__all__ = ["Channel", "NetNode"]
+
+#: Per-hop propagation + processing latency in seconds.  Small relative
+#: to every protocol timer in the paper, but non-zero so event ordering
+#: reflects hop counts.
+DEFAULT_LATENCY = 0.002
+
+
+class NetNode:
+    """A node's network interface: frame dispatch by ``kind``.
+
+    Protocol layers (AODV, flooding, the p2p overlay) register handlers
+    for the frame kinds they own.
+    """
+
+    __slots__ = ("nid", "channel", "_handlers")
+
+    def __init__(self, nid: int, channel: "Channel") -> None:
+        self.nid = nid
+        self.channel = channel
+        self._handlers: Dict[str, Callable[[Frame], None]] = {}
+
+    def register(self, kind: str, handler: Callable[[Frame], None]) -> None:
+        """Install ``handler`` for frames tagged ``kind`` (one per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"node {self.nid}: handler for {kind!r} already set")
+        self._handlers[kind] = handler
+
+    def on_frame(self, frame: Frame) -> None:
+        """Dispatch a delivered frame to its registered handler."""
+        handler = self._handlers.get(frame.kind)
+        if handler is not None:
+            handler(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NetNode {self.nid} kinds={sorted(self._handlers)}>"
+
+
+class Channel:
+    """Delivers frames between in-range nodes with latency and energy cost.
+
+    Parameters
+    ----------
+    sim, world:
+        Kernel and physical world.
+    latency:
+        Per-hop delivery latency in seconds.
+    on_deliver:
+        Optional observer called as ``on_deliver(node_id, frame)`` for
+        every delivered frame -- the metrics layer hooks in here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        world: World,
+        *,
+        latency: float = DEFAULT_LATENCY,
+        on_deliver: Optional[Callable[[int, Frame], None]] = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.world = world
+        self.latency = float(latency)
+        self.on_deliver = on_deliver
+        self.nodes: List[NetNode] = [NetNode(i, self) for i in range(world.n)]
+        #: total frames put on air (diagnostics)
+        self.frames_sent = 0
+        #: total frame copies delivered
+        self.frames_delivered = 0
+
+    # ------------------------------------------------------------------
+    def unicast(self, frame: Frame) -> bool:
+        """Send ``frame`` to its one-hop destination.
+
+        Returns ``True`` if the destination was in range (delivery is
+        then scheduled); ``False`` otherwise.  The sender pays the
+        transmission cost either way -- the radio does not know in
+        advance whether anyone is listening.
+        """
+        src, dst = frame.src, frame.dst
+        if dst == BROADCAST:
+            raise ValueError("use broadcast() for broadcast frames")
+        if not self.world.is_up(src):
+            return False
+        self.world.energy.charge_tx(src, frame.size)
+        self.frames_sent += 1
+        ok = bool(self.world.adjacency()[src, dst]) and self.world.is_up(dst)
+        if ok:
+            self.sim.schedule(self.latency, self._deliver, dst, frame)
+        self.world.check_depletion()
+        return ok
+
+    def broadcast(self, frame: Frame) -> int:
+        """Send ``frame`` to every node in range; returns receiver count."""
+        src = frame.src
+        if not self.world.is_up(src):
+            return 0
+        self.world.energy.charge_tx(src, frame.size)
+        self.frames_sent += 1
+        receivers = self.world.neighbors(src)
+        count = 0
+        for dst in receivers:
+            dst = int(dst)
+            if self.world.is_up(dst):
+                self.sim.schedule(self.latency, self._deliver, dst, frame)
+                count += 1
+        self.world.check_depletion()
+        return count
+
+    # ------------------------------------------------------------------
+    def _deliver(self, dst: int, frame: Frame) -> None:
+        # Re-check liveness at delivery time (node may have died in flight).
+        if not self.world.is_up(dst):
+            return
+        self.world.energy.charge_rx(dst, frame.size)
+        self.frames_delivered += 1
+        if self.on_deliver is not None:
+            self.on_deliver(dst, frame)
+        self.nodes[dst].on_frame(frame)
+        self.world.check_depletion()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Channel n={len(self.nodes)} sent={self.frames_sent} "
+            f"delivered={self.frames_delivered}>"
+        )

@@ -1,0 +1,97 @@
+"""Scenario runner: execute scenarios and harvest results.
+
+A :class:`RunResult` carries everything the paper's figures need from
+one run; ``run_repetitions`` reproduces the paper's repeated-simulation
+methodology (33 repetitions in the paper; configurable here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..metrics.aggregate import FileRankStats, per_file_stats
+from ..metrics.balance import load_balance_report
+from ..metrics.collector import FAMILIES
+from ..metrics.lifetimes import lifetime_summary
+from ..metrics.smallworld import smallworld_stats
+from .builder import Simulation, build_scenario
+from .config import ScenarioConfig
+
+__all__ = ["RunResult", "run_scenario", "run_repetitions"]
+
+
+@dataclass
+class RunResult:
+    """Harvested outputs of one scenario run."""
+
+    config: ScenarioConfig
+    members: List[int]
+    #: family -> per-member counts sorted decreasing (Figures 7-12 curves)
+    sorted_received: Dict[str, np.ndarray]
+    #: family -> network total
+    totals: Dict[str, int]
+    #: Figures 5/6 series, one entry per file rank
+    file_stats: List[FileRankStats]
+    #: final-overlay small-world stats (clustering, path length, refs)
+    overlay_stats: Dict[str, float]
+    #: per-node joules consumed
+    energy: np.ndarray
+    #: number of issued (closed) queries
+    num_queries: int
+    #: kernel events dispatched (cost diagnostics)
+    events: int
+    #: family -> load-balance metrics over members (gini, jain, ...)
+    balance: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: lifetime stats of closed connections by class (regular / random)
+    connection_lifetimes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def answers_series(self) -> np.ndarray:
+        """Average answers per request by file rank (fig 5/6 right axis)."""
+        return np.array([s.avg_answers for s in self.file_stats])
+
+    def distance_series(self) -> np.ndarray:
+        """Average min p2p distance by file rank (fig 5/6 left axis)."""
+        return np.array([s.avg_min_p2p_hops for s in self.file_stats])
+
+
+def harvest(simulation: Simulation) -> RunResult:
+    """Extract a RunResult from a finished simulation."""
+    cfg = simulation.config
+    metrics = simulation.metrics
+    members = simulation.members
+    records = simulation.overlay.query_records()
+    return RunResult(
+        config=cfg,
+        members=members,
+        sorted_received={
+            fam: metrics.sorted_counts(fam, members) for fam in FAMILIES
+        },
+        totals={fam: metrics.total(fam) for fam in FAMILIES},
+        file_stats=per_file_stats(records, cfg.num_files),
+        overlay_stats=smallworld_stats(simulation.overlay.graph()),
+        energy=simulation.world.energy.consumed.copy(),
+        num_queries=len(records),
+        events=simulation.sim.events_dispatched,
+        balance={
+            fam: load_balance_report(metrics.family_counts(fam)[members])
+            for fam in FAMILIES
+        },
+        connection_lifetimes=lifetime_summary(simulation.lifetimes),
+    )
+
+
+def run_scenario(cfg: ScenarioConfig) -> RunResult:
+    """Build, run and harvest one scenario."""
+    simulation = build_scenario(cfg)
+    simulation.run()
+    return harvest(simulation)
+
+
+def run_repetitions(cfg: ScenarioConfig, reps: int) -> List[RunResult]:
+    """Run ``reps`` repetitions with consecutive seed offsets."""
+    if reps < 1:
+        raise ValueError(f"need reps >= 1, got {reps}")
+    return [run_scenario(cfg.for_repetition(r)) for r in range(reps)]

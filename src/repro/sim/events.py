@@ -1,0 +1,79 @@
+"""Event objects for the discrete-event kernel.
+
+An :class:`Event` is an immutable-ish record placed on the simulator's
+binary heap.  Ordering is by ``(time, priority, seq)`` so that
+
+* earlier events fire first,
+* ties at the same timestamp are broken by an explicit integer priority
+  (lower fires first), and
+* remaining ties fire in scheduling order (``seq`` is a monotonically
+  increasing counter assigned by the kernel),
+
+which makes every run bit-for-bit deterministic regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Priority(enum.IntEnum):
+    """Tie-break priorities for events scheduled at the same instant.
+
+    ``HIGH`` is used by the kernel's internal bookkeeping (e.g. process
+    wake-ups), ``NORMAL`` by ordinary protocol timers, ``LOW`` by
+    observation/metric sampling so that samplers always see the state
+    *after* same-time protocol activity.
+    """
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Tie-break priority; see :class:`Priority`.
+    seq:
+        Kernel-assigned monotonic sequence number (final tie-break).
+    fn:
+        The callback to invoke.
+    args:
+        Positional arguments passed to ``fn``.
+    cancelled:
+        Cooperative cancellation flag.  Cancelled events stay on the heap
+        but are skipped when popped (lazy deletion -- O(1) cancel).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any]
+    args: tuple = field(default=())
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    # heapq compares items directly; define ordering on the sort key only.
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The total-order key used on the heap."""
+        return (self.time, self.priority, self.seq)

@@ -1,0 +1,194 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop in the style of ns-2's scheduler:
+a binary heap of :class:`~repro.sim.events.Event` records ordered by
+``(time, priority, seq)``.  All higher layers (radio, AODV, the p2p
+overlay) schedule plain callbacks or generator-based processes on a
+single :class:`Simulator` instance.
+
+Design notes
+------------
+* Cancellation is lazy (events carry a ``cancelled`` flag and are skipped
+  when popped) so cancelling the thousands of ping timeouts a p2p run
+  creates is O(1) each.
+* The kernel never advances past ``run(until=...)``; events beyond the
+  horizon stay queued, which lets callers resume the same simulation
+  (``run`` may be called repeatedly with increasing horizons).
+* ``now`` is a float in seconds.  Events scheduled "now" with a zero
+  delay still go through the heap, preserving the priority/seq order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from .events import Event, Priority
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (negative delays, running a closed sim)."""
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value (seconds).  Defaults to 0.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        #: number of events actually dispatched (skips excluded)
+        self.events_dispatched = 0
+        #: number of cancelled events skipped on pop
+        self.events_skipped = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, whose :meth:`~Event.cancel` method
+        revokes it.  ``delay`` must be non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock is already at {self._now!r}"
+            )
+        ev = Event(time=float(time), priority=int(priority), seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Dispatch the single next pending event.
+
+        Returns the event dispatched, or ``None`` if the queue is empty
+        (cancelled events are skipped transparently).
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                self.events_skipped += 1
+                continue
+            self._now = ev.time
+            self.events_dispatched += 1
+            ev.fn(*ev.args)
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self.events_skipped += 1
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Parameters
+        ----------
+        until:
+            Horizon (absolute seconds).  Events at exactly ``until`` DO
+            fire; later events remain queued.  When the horizon is hit the
+            clock is advanced to ``until`` even if no event fired there,
+            so back-to-back ``run`` calls see a monotone clock.
+        max_events:
+            Safety valve: dispatch at most this many events.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while self._heap and not self._stopped:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self.step()
+                dispatched += 1
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __len__(self) -> int:
+        return self.pending()
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield live queued events in heap (not fire) order."""
+        return (ev for ev in self._heap if not ev.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator t={self._now:.3f} pending={self.pending()} "
+            f"dispatched={self.events_dispatched}>"
+        )

@@ -1,0 +1,109 @@
+"""Generator-based processes on top of the event kernel.
+
+The protocol state machines in this package are mostly written as plain
+callback chains, but long-lived control loops (the paper's
+``while the node belongs to p2p network`` loops) read much more naturally
+as coroutines.  A :class:`Process` wraps a generator that *yields*:
+
+* a ``float``/``int`` -- sleep that many simulated seconds, or
+* :data:`WAIT` -- park until somebody calls :meth:`Process.wake`.
+
+Example
+-------
+>>> from repro.sim.kernel import Simulator
+>>> sim = Simulator()
+>>> out = []
+>>> def loop():
+...     while True:
+...         out.append(sim.now)
+...         yield 2.0
+>>> p = Process(sim, loop())
+>>> sim.run(until=5.0)
+>>> out
+[0.0, 2.0, 4.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .events import Event, Priority
+from .kernel import Simulator
+
+__all__ = ["Process", "WAIT"]
+
+#: Sentinel a process yields to park until an external :meth:`Process.wake`.
+WAIT = object()
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator starts at the current simulation time (via a zero-delay
+    event, preserving deterministic ordering with other events scheduled
+    at the same instant).
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    gen:
+        The generator to drive.
+    name:
+        Optional label for debugging.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self._pending: Optional[Event] = None
+        self._waiting = False
+        self._pending = sim.schedule(0.0, self._advance, priority=Priority.HIGH)
+
+    def _advance(self, value: Any = None) -> None:
+        self._pending = None
+        self._waiting = False
+        if not self.alive:
+            return
+        try:
+            yielded = self.gen.send(value) if value is not None else next(self.gen)
+        except StopIteration:
+            self.alive = False
+            return
+        if yielded is WAIT:
+            self._waiting = True
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"process {self.name!r} yielded negative delay {yielded!r}")
+            self._pending = self.sim.schedule(float(yielded), self._advance)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {yielded!r}; expected a delay or WAIT"
+            )
+
+    def wake(self, value: Any = True) -> None:
+        """Resume a process parked on :data:`WAIT`.
+
+        The resumption happens through a zero-delay event so the caller's
+        stack unwinds first.  Waking a process that is not parked is a
+        no-op (e.g. it already timed out).
+        """
+        if self.alive and self._waiting:
+            self._waiting = False
+            self._pending = self.sim.schedule(
+                0.0, self._advance, value, priority=Priority.HIGH
+            )
+
+    def kill(self) -> None:
+        """Terminate the process; any pending wake-up is cancelled."""
+        self.alive = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.gen.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "dead" if not self.alive else ("waiting" if self._waiting else "running")
+        return f"<Process {self.name!r} {state}>"

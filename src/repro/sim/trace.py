@@ -1,0 +1,176 @@
+"""Event tracing -- an ns-2-style trace facility.
+
+The original study debugged and measured through ns-2 trace files; a
+usable simulator release needs the same.  A :class:`TraceRecorder`
+collects typed :class:`TraceRecord` rows (transmissions, deliveries,
+drops, protocol state changes), supports filtering, and serializes to
+ND-JSON or CSV for offline analysis.
+
+Attach it to a built scenario with :func:`attach_tracer`, which hooks
+the radio channel without the channel knowing about tracing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder", "attach_tracer"]
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One traced event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds).
+    kind:
+        ``"tx"`` | ``"rx"`` | ``"drop"`` | ``"state"`` | free-form.
+    node:
+        The node the event happened at.
+    other:
+        Peer node if applicable (-1 otherwise).
+    layer:
+        Frame kind / protocol tag (e.g. ``"aodv.ctrl"``, ``"p2p"``).
+    detail:
+        Free-form short description (message type, state name, ...).
+    """
+
+    time: float
+    kind: str
+    node: int
+    other: int = -1
+    layer: str = ""
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Bounded in-memory trace sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records kept; older records are discarded FIFO (the
+        count of *total* records seen is still tracked).
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.records: List[TraceRecord] = []
+        self.total_seen = 0
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        time: float,
+        kind: str,
+        node: int,
+        other: int = -1,
+        layer: str = "",
+        detail: str = "",
+    ) -> None:
+        """Append one record (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.total_seen += 1
+        if len(self.records) >= self.capacity:
+            # FIFO eviction in blocks to avoid O(n) per record.
+            drop = max(self.capacity // 10, 1)
+            del self.records[:drop]
+        self.records.append(TraceRecord(time, kind, node, other, layer, detail))
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        *,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+        layer: Optional[str] = None,
+        t_min: float = float("-inf"),
+        t_max: float = float("inf"),
+    ) -> Iterator[TraceRecord]:
+        """Yield records matching every given criterion."""
+        for r in self.records:
+            if kind is not None and r.kind != kind:
+                continue
+            if node is not None and r.node != node:
+                continue
+            if layer is not None and r.layer != layer:
+                continue
+            if not t_min <= r.time <= t_max:
+                continue
+            yield r
+
+    def count(self, **kwargs) -> int:
+        """Number of records matching the :meth:`filter` criteria."""
+        return sum(1 for _ in self.filter(**kwargs))
+
+    # ------------------------------------------------------------------
+    def to_ndjson(self) -> str:
+        """One JSON object per line."""
+        return "\n".join(json.dumps(asdict(r)) for r in self.records)
+
+    def to_csv(self) -> str:
+        """CSV with a header row."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["time", "kind", "node", "other", "layer", "detail"])
+        for r in self.records:
+            writer.writerow([f"{r.time:.6f}", r.kind, r.node, r.other, r.layer, r.detail])
+        return buf.getvalue()
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def attach_tracer(channel, recorder: Optional[TraceRecorder] = None) -> TraceRecorder:
+    """Hook a recorder into a radio channel's tx/rx paths.
+
+    Wraps ``channel.unicast`` / ``channel.broadcast`` (tx side) and
+    chains onto ``channel.on_deliver`` (rx side).  Returns the recorder.
+    """
+    rec = recorder if recorder is not None else TraceRecorder()
+    sim = channel.sim
+
+    orig_unicast = channel.unicast
+    orig_broadcast = channel.broadcast
+
+    def traced_unicast(frame):
+        ok = orig_unicast(frame)
+        rec.record(
+            sim.now,
+            "tx" if ok else "drop",
+            frame.src,
+            frame.dst,
+            frame.kind,
+            type(frame.payload).__name__,
+        )
+        return ok
+
+    def traced_broadcast(frame):
+        n = orig_broadcast(frame)
+        rec.record(sim.now, "tx", frame.src, -1, frame.kind, type(frame.payload).__name__)
+        return n
+
+    prev_on_deliver = channel.on_deliver
+
+    def traced_deliver(nid, frame):
+        rec.record(sim.now, "rx", nid, frame.src, frame.kind, type(frame.payload).__name__)
+        if prev_on_deliver is not None:
+            prev_on_deliver(nid, frame)
+
+    channel.unicast = traced_unicast
+    channel.broadcast = traced_broadcast
+    channel.on_deliver = traced_deliver
+    return rec

@@ -1,0 +1,69 @@
+"""Ring lattices and Watts-Strogatz rewiring, implemented from scratch.
+
+§6.1.2 of the paper grounds the Random algorithm in the small-world
+model: "little changes in regular graphs connections are sufficient to
+achieve short global pathlengths as in random graphs".  §8 promises "a
+theoretical study on how the connectivity of nodes influences our
+metrics and how small-world properties could be better used".  This
+module provides the graph machinery for that study; the companion
+:mod:`repro.theory.predictions` provides the closed-form reference
+values, and :mod:`repro.theory.study` runs the classic rewiring sweep.
+
+Implementations are deliberately independent of networkx generators so
+the reproduction owns its math; tests cross-check against networkx.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["ring_lattice", "ws_rewire", "watts_strogatz"]
+
+
+def ring_lattice(n: int, k: int) -> nx.Graph:
+    """The regular ring lattice: ``n`` vertices, each joined to its ``k``
+    nearest neighbours (``k/2`` on each side).
+
+    ``k`` must be even and satisfy ``0 < k < n``.
+    """
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got k={k}, n={n}")
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(1, k // 2 + 1):
+            g.add_edge(i, (i + j) % n)
+    return g
+
+
+def ws_rewire(g: nx.Graph, p: float, rng: np.random.Generator) -> nx.Graph:
+    """Watts-Strogatz rewiring: each edge is, with probability ``p``,
+    re-attached at one end to a uniformly chosen new vertex (no self
+    loops, no duplicate edges).
+
+    Returns a new graph; the input is untouched.
+    """
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    out = g.copy()
+    n = out.number_of_nodes()
+    nodes = list(out.nodes)
+    for u, v in list(g.edges):
+        if rng.random() >= p:
+            continue
+        # rewire the (u, v) edge at the v end
+        candidates = [w for w in nodes if w != u and not out.has_edge(u, w)]
+        if not candidates:
+            continue
+        w = candidates[int(rng.integers(len(candidates)))]
+        out.remove_edge(u, v)
+        out.add_edge(u, w)
+    return out
+
+
+def watts_strogatz(n: int, k: int, p: float, rng: np.random.Generator) -> nx.Graph:
+    """Ring lattice + rewiring in one call (the classic WS ensemble)."""
+    return ws_rewire(ring_lattice(n, k), p, rng)

@@ -1,0 +1,107 @@
+"""Fake overlay pieces for unit-testing the query engine and algorithms
+without a radio/routing stack underneath.
+
+``FakeFabric`` provides instantaneous, loss-free message passing between
+``FakeServent`` objects over an explicitly-specified neighbour graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.core.config import P2pConfig
+from repro.core.connection import ConnectionTable
+from repro.core.files import FileStore
+from repro.core.query import QueryConfig, QueryEngine
+from repro.sim import Simulator
+
+
+class FakeFabric:
+    """Zero-latency message bus (still goes through the event queue)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.servents: Dict[int, "FakeServent"] = {}
+        self.sent_log: List[tuple] = []  # (src, dst, msg)
+
+    def add(self, servent: "FakeServent") -> None:
+        self.servents[servent.nid] = servent
+
+    def send(self, src: int, dst: int, msg) -> None:
+        self.sent_log.append((src, dst, msg))
+        target = self.servents.get(dst)
+        if target is not None:
+            self.sim.schedule(0.001, target.receive, src, msg)
+
+
+class FakeServent:
+    """Implements the surface QueryEngine needs."""
+
+    def __init__(
+        self,
+        nid: int,
+        sim: Simulator,
+        fabric: FakeFabric,
+        *,
+        files: Set[int] | None = None,
+        neighbors: List[int] | None = None,
+        num_files: int = 20,
+        query_config: QueryConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.nid = nid
+        self.sim = sim
+        self.fabric = fabric
+        self.store = FileStore(nid, files or set())
+        self.num_files = num_files
+        self.neighbors = list(neighbors or [])
+        self.connections = ConnectionTable(nid, P2pConfig().max_connections)
+        self.query_engine = QueryEngine(
+            self, query_config or QueryConfig(), np.random.default_rng(seed + nid)
+        )
+        self.adhoc = {}  # peer -> faked ad-hoc distance
+        fabric.add(self)
+
+    # ---- surface used by QueryEngine ---------------------------------
+    def overlay_neighbors(self) -> List[int]:
+        return list(self.neighbors)
+
+    def send(self, peer: int, msg) -> None:
+        self.fabric.send(self.nid, peer, msg)
+
+    def adhoc_distance(self, peer: int) -> int:
+        return self.adhoc.get(peer, 1)
+
+    # ---- inbound dispatch ---------------------------------------------
+    def receive(self, src: int, msg) -> None:
+        from repro.core.messages import FileData, FileRequest, Query, QueryHit
+
+        if isinstance(msg, Query):
+            self.query_engine.on_query(src, msg)
+        elif isinstance(msg, QueryHit):
+            self.query_engine.on_hit(src, msg)
+        elif isinstance(msg, FileRequest):
+            self.query_engine.on_file_request(src, msg)
+        elif isinstance(msg, FileData):
+            self.query_engine.on_file_data(src, msg)
+
+
+def make_overlay_line(sim, n, files_at=None, **kw):
+    """n fake servents in a line overlay 0-1-2-...; files_at: {nid: {fid}}."""
+    fabric = FakeFabric(sim)
+    servents = []
+    for i in range(n):
+        nbrs = [j for j in (i - 1, i + 1) if 0 <= j < n]
+        servents.append(
+            FakeServent(
+                i,
+                sim,
+                fabric,
+                files=(files_at or {}).get(i),
+                neighbors=nbrs,
+                **kw,
+            )
+        )
+    return fabric, servents

@@ -1,0 +1,66 @@
+"""Helpers for full-stack overlay tests: static topologies + overlay."""
+
+import numpy as np
+
+from repro.aodv import AodvRouter
+from repro.core import OverlayNetwork, P2pConfig, QueryConfig
+from repro.metrics import MetricsCollector
+from repro.mobility import Area, Static
+from repro.net import Channel, World
+from repro.routing import OracleRouter
+from repro.sim import RngRegistry, Simulator
+
+
+def build_overlay(
+    positions,
+    *,
+    algorithm="regular",
+    members=None,
+    radio_range=10.0,
+    routing="aodv",
+    config=None,
+    query_config=None,
+    qualifiers=None,
+    seed=0,
+    num_files=5,
+):
+    """Full stack over a hand-placed static topology.
+
+    Returns (sim, world, overlay, metrics).
+    """
+    pts = np.asarray(positions, dtype=float)
+    n = len(pts)
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    mobility = Static(n, Area(1000, 1000), rng.stream("mobility"), positions=pts)
+    world = World(sim, mobility, radio_range=radio_range)
+    channel = Channel(sim, world)
+    router = (
+        AodvRouter(sim, channel) if routing == "aodv" else OracleRouter(sim, world)
+    )
+    metrics = MetricsCollector(n)
+    overlay = OverlayNetwork(
+        sim,
+        world,
+        channel,
+        router,
+        members=members if members is not None else list(range(n)),
+        algorithm=algorithm,
+        config=config or P2pConfig(),
+        query_config=query_config or QueryConfig(warmup=30.0),
+        num_files=num_files,
+        rng=rng,
+        qualifiers=qualifiers,
+        count_received=metrics.count_received,
+    )
+    return sim, world, overlay, metrics
+
+
+def cluster_positions(n_clusters=2, per_cluster=4, gap=50.0, spacing=5.0):
+    """Clusters of tightly packed nodes, clusters `gap` apart."""
+    pts = []
+    for c in range(n_clusters):
+        cx = 10.0 + c * gap
+        for i in range(per_cluster):
+            pts.append([cx + (i % 2) * spacing, 10.0 + (i // 2) * spacing])
+    return pts

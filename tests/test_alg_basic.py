@@ -1,0 +1,105 @@
+"""Tests for the Basic (re)configuration algorithm."""
+
+from repro.core import Discover, DiscoverReply
+
+from .helpers import line_positions
+from .overlay_helpers import build_overlay
+
+
+class TestEstablishment:
+    def test_references_form_in_a_clique(self):
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=60.0)
+        # Everyone is 1 hop from everyone: all nodes reach MAXNCONN refs.
+        for servent in overlay.servents.values():
+            assert servent.connections.count == 3
+
+    def test_references_are_asymmetric(self):
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=60.0)
+        for servent in overlay.servents.values():
+            for conn in servent.connections:
+                assert not conn.symmetric
+                assert conn.initiator
+
+    def test_cap_respected_in_dense_neighborhood(self):
+        # 7 nodes all in range: still only MAXNCONN references each.
+        pts = [[10 + 2 * i, 10] for i in range(7)]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=120.0)
+        for servent in overlay.servents.values():
+            assert servent.connections.count <= 3
+
+    def test_nonmembers_never_connect(self):
+        pts = [[10, 10], [15, 10], [10, 15]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="basic", members=[0, 1])
+        overlay.start(queries=False)
+        sim.run(until=60.0)
+        assert 2 not in overlay.servents
+        for servent in overlay.servents.values():
+            assert 2 not in servent.connections.peers()
+
+    def test_discovery_radius_limits_reach(self):
+        # Line of members spaced 8 m: node 0's flood (NHOPS=6) reaches
+        # node 6 at most; node 8 can never be referenced by node 0.
+        pts = line_positions(9, spacing=8.0)
+        sim, _, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=120.0)
+        assert all(p <= 6 for p in overlay.servents[0].connections.peers())
+
+
+class TestMaintenance:
+    def test_dead_peer_reference_closed(self):
+        pts = [[10, 10], [15, 10]]
+        sim, world, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=30.0)
+        assert overlay.servents[0].connections.has(1)
+        world.set_down(1)
+        sim.run(until=120.0)
+        assert not overlay.servents[0].connections.has(1)
+
+    def test_reference_reestablished_after_revival(self):
+        pts = [[10, 10], [15, 10]]
+        sim, world, overlay, _ = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=30.0)
+        world.set_down(1)
+        sim.run(until=120.0)
+        world.set_down(1, down=False)
+        sim.run(until=240.0)
+        assert overlay.servents[0].connections.has(1)
+
+    def test_both_sides_ping_mutual_references(self):
+        # Two nodes that reference each other both send pings: ping
+        # traffic is roughly symmetric (the paper's 2x effect).
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, metrics = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        pings = metrics.family_counts("ping")
+        assert pings[0] > 0 and pings[1] > 0
+        assert 0.5 < pings[0] / pings[1] < 2.0
+
+
+class TestMessages:
+    def test_full_node_still_answers_discovery(self):
+        # Paper: "Every node that listens to this message answers it" --
+        # even a node already at MAXNCONN references replies.
+        pts = [[10 + 2 * i, 10] for i in range(5)]
+        sim, _, overlay, metrics = build_overlay(pts, algorithm="basic")
+        overlay.start(queries=False)
+        sim.run(until=120.0)
+        full = overlay.servents[0]
+        assert full.connections.is_full
+        sent = []
+        original = full.send
+        full.send = lambda peer, msg: (sent.append((peer, msg)), original(peer, msg))
+        full.algorithm.on_discovery(3, Discover(seeker=3, basic=True), hops=2)
+        assert any(isinstance(m, DiscoverReply) for _, m in sent)

@@ -1,0 +1,152 @@
+"""Tests for the Hybrid algorithm: master/slave self-organization."""
+
+from repro.core import PeerState
+
+from .overlay_helpers import build_overlay, cluster_positions
+
+
+def states(overlay):
+    return {nid: s.algorithm.state for nid, s in overlay.servents.items()}
+
+
+class TestRoleAssignment:
+    def test_highest_qualifier_becomes_master(self):
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15]]
+        quals = {0: 0.9, 1: 0.2, 2: 0.3, 3: 0.1}
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers=quals
+        )
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        st = states(overlay)
+        assert st[0] is PeerState.MASTER
+        # Everyone else enslaved to node 0.
+        for nid in (1, 2, 3):
+            assert st[nid] is PeerState.SLAVE
+            assert overlay.servents[nid].algorithm.master == 0
+
+    def test_isolated_peer_becomes_master(self):
+        pts = [[10, 10], [500, 500]]
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers={0: 0.5, 1: 0.5}
+        )
+        overlay.start(queries=False)
+        sim.run(until=400.0)
+        st = states(overlay)
+        # Both exhausted the capture ring alone: both masters (and the
+        # no-slave demotion cycles them INITIAL <-> MASTER).
+        assert st[0] in (PeerState.MASTER, PeerState.INITIAL)
+        assert st[1] in (PeerState.MASTER, PeerState.INITIAL)
+
+    def test_max_slaves_respected(self):
+        # 6 peers in range of a single strong master.
+        pts = [[10 + 2 * i, 10] for i in range(7)]
+        quals = {i: 0.1 + 0.01 * i for i in range(1, 7)}
+        quals[0] = 0.99
+        sim, _, overlay, _ = build_overlay(pts, algorithm="hybrid", qualifiers=quals)
+        overlay.start(queries=False)
+        sim.run(until=400.0)
+        master = overlay.servents[0].algorithm
+        assert master.state is PeerState.MASTER
+        assert master.slaves.count <= 3
+
+    def test_equal_qualifiers_break_ties_by_id(self):
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers={0: 0.5, 1: 0.5}
+        )
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        st = states(overlay)
+        assert (st[0], st[1]) in (
+            (PeerState.SLAVE, PeerState.MASTER),
+            (PeerState.MASTER, PeerState.SLAVE),
+        )
+        # the higher id wins the tie
+        if st[1] is PeerState.MASTER:
+            assert overlay.servents[0].algorithm.master == 1
+
+
+class TestMasterInterconnect:
+    def test_masters_connect_to_each_other(self):
+        pts = cluster_positions(n_clusters=2, per_cluster=3, gap=20.0)
+        quals = {0: 0.9, 1: 0.1, 2: 0.2, 3: 0.95, 4: 0.15, 5: 0.25}
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers=quals, radio_range=15.0
+        )
+        overlay.start(queries=False)
+        sim.run(until=600.0)
+        st = states(overlay)
+        masters = [nid for nid, s in st.items() if s is PeerState.MASTER]
+        assert 0 in masters and 3 in masters
+        assert overlay.servents[0].connections.has(3) or overlay.servents[
+            3
+        ].connections.has(0)
+
+    def test_slaves_only_neighbor_is_master(self):
+        pts = [[10, 10], [15, 10], [10, 15]]
+        quals = {0: 0.9, 1: 0.1, 2: 0.2}
+        sim, _, overlay, _ = build_overlay(pts, algorithm="hybrid", qualifiers=quals)
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        for nid in (1, 2):
+            alg = overlay.servents[nid].algorithm
+            if alg.state is PeerState.SLAVE:
+                assert overlay.servents[nid].overlay_neighbors() == [0]
+
+    def test_master_overlay_neighbors_include_slaves(self):
+        pts = [[10, 10], [15, 10], [10, 15]]
+        quals = {0: 0.9, 1: 0.1, 2: 0.2}
+        sim, _, overlay, _ = build_overlay(pts, algorithm="hybrid", qualifiers=quals)
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        nbrs = set(overlay.servents[0].overlay_neighbors())
+        assert {1, 2} <= nbrs
+
+
+class TestReconfiguration:
+    def test_slave_resets_when_master_dies(self):
+        pts = [[10, 10], [15, 10]]
+        quals = {0: 0.9, 1: 0.1}
+        sim, world, overlay, _ = build_overlay(pts, algorithm="hybrid", qualifiers=quals)
+        overlay.start(queries=False)
+        sim.run(until=200.0)
+        assert overlay.servents[1].algorithm.state is PeerState.SLAVE
+        world.set_down(0)
+        sim.run(until=600.0)
+        alg1 = overlay.servents[1].algorithm
+        assert alg1.master != 0
+        assert alg1.state in (PeerState.INITIAL, PeerState.MASTER)
+
+    def test_master_without_slaves_demotes(self):
+        # A master alone in radio range: after MAXTIMERMASTER it resets.
+        pts = [[10, 10], [500, 500]]
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers={0: 0.9, 1: 0.1}
+        )
+        overlay.start(queries=False)
+        # Wait until node 0 first becomes master.
+        became_master = demoted = False
+        for _ in range(600):
+            sim.run(until=sim.now + 5.0)
+            st = overlay.servents[0].algorithm.state
+            if st is PeerState.MASTER:
+                became_master = True
+            if became_master and st is PeerState.INITIAL:
+                demoted = True
+                break
+        assert became_master and demoted
+
+    def test_new_master_elected_after_old_dies(self):
+        pts = [[10, 10], [15, 10], [10, 15]]
+        quals = {0: 0.9, 1: 0.5, 2: 0.2}
+        sim, world, overlay, _ = build_overlay(pts, algorithm="hybrid", qualifiers=quals)
+        overlay.start(queries=False)
+        sim.run(until=300.0)
+        world.set_down(0)
+        sim.run(until=1500.0)
+        st = states(overlay)
+        # The survivors reorganize: node 1 (higher qualifier) masters 2.
+        assert st[1] is PeerState.MASTER
+        assert st[2] is PeerState.SLAVE
+        assert overlay.servents[2].algorithm.master == 1

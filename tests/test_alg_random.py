@@ -1,0 +1,106 @@
+"""Tests for the Random algorithm: long-range last connection."""
+
+from repro.core import ConnectOffer, P2pConfig
+
+from .helpers import line_positions
+from .overlay_helpers import build_overlay
+
+
+def two_clusters_with_chain():
+    """Two 3-cliques joined by a chain of relay nodes.
+
+    Members in each clique can reach the far clique only through
+    high-hop paths, so random connections have far candidates.
+    """
+    pts = []
+    pts += [[10, 10], [15, 10], [10, 15]]  # clique A (0,1,2)
+    pts += [[10 + 8 * i, 30] for i in range(1, 8)]  # chain (3..9)
+    pts += [[74, 10], [79, 10], [74, 15]]  # clique B (10,11,12)
+    return pts
+
+
+class TestRandomConnection:
+    def test_last_slot_becomes_random(self):
+        # Clique of 4: each node can fill 2 regular slots nearby, then
+        # seeks a random connection (which will also be nearby here).
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15], [12, 12]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="random")
+        overlay.start(queries=False)
+        sim.run(until=600.0)
+        with_random = [
+            s for s in overlay.servents.values() if s.connections.has_random()
+        ]
+        assert len(with_random) >= 2
+
+    def test_regular_slots_capped_at_max_minus_one(self):
+        pts = [[10 + 3 * i, 10] for i in range(8)]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="random")
+        overlay.start(queries=False)
+        sim.run(until=400.0)
+        for servent in overlay.servents.values():
+            regular = [c for c in servent.connections if not c.random]
+            # a node may hold 3 non-random conns only if others chose it
+            # as THEIR random target; its own seeking stops at 2
+            own_regular = [c for c in regular if c.initiator]
+            assert len(own_regular) <= 2
+
+    def test_farthest_offer_wins(self):
+        sim, _, overlay, _ = build_overlay(
+            line_positions(8, spacing=8.0), algorithm="random", seed=5
+        )
+        s0 = overlay.servents[0]
+        alg = s0.algorithm
+        alg._collecting = True
+        alg._random_offers = [(2, 2), (6, 6), (4, 4)]
+        sent = []
+        s0.send = lambda peer, msg: sent.append((peer, msg))
+        # Fill regular slots so _needs_random() is true.
+        from repro.core import Connection
+
+        s0.connections.add(Connection(peer=90))
+        s0.connections.add(Connection(peer=91))
+        alg._finish_random_collection()
+        assert sent and sent[0][0] == 6  # farthest responder chosen
+
+    def test_random_connection_flagged_on_both_ends(self):
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15], [12, 12]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="random")
+        overlay.start(queries=False)
+        sim.run(until=600.0)
+        for servent in overlay.servents.values():
+            for conn in servent.connections:
+                if conn.random and conn.initiator:
+                    other = overlay.servents[conn.peer].connections.get(servent.nid)
+                    assert other is not None and other.random
+
+    def test_dropped_random_connection_is_replaced(self):
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15], [12, 12]]
+        sim, world, overlay, _ = build_overlay(pts, algorithm="random")
+        overlay.start(queries=False)
+        sim.run(until=600.0)
+        victim = next(
+            (
+                s
+                for s in overlay.servents.values()
+                if any(c.random and c.initiator for c in s.connections)
+            ),
+            None,
+        )
+        assert victim is not None
+        rnd_peer = next(c.peer for c in victim.connections if c.random)
+        victim.algorithm.close_connection(rnd_peer)
+        assert not victim.connections.has_random()
+        sim.run(until=sim.now + 900.0)
+        assert victim.connections.has_random()
+
+    def test_double_maxdist_allowance(self):
+        cfg = P2pConfig()
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="random", config=cfg)
+        alg = overlay.servents[0].algorithm
+        from repro.core import Connection
+
+        regular = Connection(peer=1)
+        rand = Connection(peer=1, random=True)
+        assert alg.allowed_distance(regular) == cfg.max_dist
+        assert alg.allowed_distance(rand) == 2 * cfg.max_dist

@@ -1,0 +1,177 @@
+"""Integration tests for AODV route discovery, forwarding and repair."""
+
+import numpy as np
+import pytest
+
+from repro.aodv import AodvConfig, AodvRouter
+from repro.mobility import Area, Static
+from repro.net import Channel, World
+from repro.sim import Simulator
+
+from .helpers import line_positions
+
+
+def make_aodv(positions, radio_range=10.0, config=None):
+    pts = np.asarray(positions, dtype=float)
+    sim = Simulator()
+    mobility = Static(len(pts), Area(1000, 1000), np.random.default_rng(0), positions=pts)
+    world = World(sim, mobility, radio_range=radio_range)
+    channel = Channel(sim, world)
+    router = AodvRouter(sim, channel, config=config)
+    inbox = []
+    router.register("app", lambda dst, src, payload, hops: inbox.append((dst, src, payload, hops)))
+    return sim, world, channel, router, inbox
+
+
+class TestDiscoveryAndDelivery:
+    def test_multihop_delivery_on_line(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(5, spacing=8.0))
+        router.send(0, 4, "hello", kind="app")
+        sim.run(until=5.0)
+        assert inbox == [(4, 0, "hello", 4)]
+
+    def test_loopback(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(2, spacing=8.0))
+        router.send(1, 1, "self", kind="app")
+        sim.run(until=1.0)
+        assert inbox == [(1, 1, "self", 0)]
+
+    def test_single_hop(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(2, spacing=8.0))
+        router.send(0, 1, "hi", kind="app")
+        sim.run(until=2.0)
+        assert inbox == [(1, 0, "hi", 1)]
+
+    def test_route_cached_after_discovery(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(4, spacing=8.0))
+        router.send(0, 3, "a", kind="app")
+        sim.run(until=2.0)
+        rreqs_after_first = router.control_overhead()["rreq_sent"]
+        router.send(0, 3, "b", kind="app")
+        sim.run(until=2.5)
+        assert [p for _, _, p, _ in inbox] == ["a", "b"]
+        # Second send reused the cached route: no new RREQ.
+        assert router.control_overhead()["rreq_sent"] == rreqs_after_first
+
+    def test_route_hops_reported(self):
+        sim, _, _, router, _ = make_aodv(line_positions(4, spacing=8.0))
+        assert router.route_hops(0, 3) == AodvRouter.UNKNOWN
+        router.send(0, 3, "x", kind="app")
+        sim.run(until=2.0)
+        assert router.route_hops(0, 3) == 3
+        assert router.route_hops(2, 2) == 0
+
+    def test_expanding_ring_eventually_reaches_far_node(self):
+        # 9 hops away: beyond ttl_start and threshold, needs net_diameter ring
+        sim, _, _, router, inbox = make_aodv(line_positions(10, spacing=8.0))
+        router.send(0, 9, "far", kind="app")
+        sim.run(until=20.0)
+        assert inbox == [(9, 0, "far", 9)]
+
+    def test_unreachable_calls_on_fail(self):
+        sim, _, _, router, inbox = make_aodv([[0, 0], [8, 0], [500, 500]])
+        failed = []
+        router.send(0, 2, "nope", kind="app", on_fail=failed.append)
+        sim.run(until=60.0)
+        assert failed == ["nope"]
+        assert inbox == []
+
+    def test_bidirectional_traffic(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(4, spacing=8.0))
+        router.send(0, 3, "fwd", kind="app")
+        sim.run(until=2.0)
+        router.send(3, 0, "rev", kind="app")
+        sim.run(until=4.0)
+        assert (3, 0, "fwd", 3) in inbox and (0, 3, "rev", 3) in inbox
+
+
+class TestIntermediateReply:
+    def test_intermediate_node_with_route_replies(self):
+        sim, _, _, router, inbox = make_aodv(line_positions(5, spacing=8.0))
+        # Prime node 2's table with a route to 4.
+        router.send(2, 4, "prime", kind="app")
+        sim.run(until=2.0)
+        rreqs_before = sum(a.rreq_sent for a in router.agents)
+        router.send(0, 4, "main", kind="app")
+        sim.run(until=4.0)
+        assert (4, 0, "main", 4) in inbox
+        # Node 0 originated a RREQ but node 2 answered from its cache:
+        # only ONE new rreq origination (node 0's ring), and node 2
+        # produced an intermediate RREP.
+        assert sum(a.rreq_sent for a in router.agents) == rreqs_before + 1
+
+    def test_intermediate_reply_can_be_disabled(self):
+        cfg = AodvConfig(intermediate_reply=False)
+        sim, _, _, router, inbox = make_aodv(line_positions(5, spacing=8.0), config=cfg)
+        router.send(2, 4, "prime", kind="app")
+        sim.run(until=2.0)
+        router.send(0, 4, "main", kind="app")
+        sim.run(until=4.0)
+        assert (4, 0, "main", 4) in inbox
+
+
+class TestRepair:
+    def test_broken_route_triggers_rediscovery(self):
+        sim, world, _, router, inbox = make_aodv(
+        [[0, 0], [8, 0], [16, 0], [8, 6], [24, 0]]
+        )
+        # Path 0-1-2... wait for initial route, then kill node 1.
+        router.send(0, 2, "first", kind="app")
+        sim.run(until=2.0)
+        assert (2, 0, "first", 2) in inbox
+        world.set_down(1)
+        router.send(0, 2, "second", kind="app")
+        sim.run(until=10.0)
+        # 0 -> 3 -> 2 detour (node 3 bridges at distance 10 from both)
+        assert any(p == "second" for _, _, p, _ in inbox)
+
+    def test_rerr_invalidates_neighbor_routes(self):
+        sim, world, _, router, _ = make_aodv(line_positions(4, spacing=8.0))
+        router.send(0, 3, "x", kind="app")
+        sim.run(until=2.0)
+        assert router.route_hops(1, 3) == 2  # relay learned the route
+        world.set_down(2)
+        router.send(0, 3, "y", kind="app")
+        sim.run(until=1000.0)
+        # After the failed forward + RERR, upstream routes through 2 die.
+        assert router.route_hops(1, 3) == AodvRouter.UNKNOWN
+
+    def test_queue_overflow_fails_packets(self):
+        cfg = AodvConfig(queue_per_dest=2)
+        sim, _, _, router, _ = make_aodv([[0, 0], [8, 0], [500, 500]], config=cfg)
+        failed = []
+        for i in range(5):
+            router.send(0, 2, f"m{i}", kind="app", on_fail=failed.append)
+        sim.run(until=60.0)
+        assert sorted(failed) == [f"m{i}" for i in range(5)]
+
+
+class TestLoopFreedom:
+    def test_no_forwarding_loops_under_churn(self):
+        # Random topology with churn: every delivered packet must have
+        # travelled at most n hops (a loop would exceed it / never end).
+        rng = np.random.default_rng(42)
+        pts = rng.random((25, 2)) * 40
+        sim, world, _, router, inbox = make_aodv(pts, radio_range=12)
+        for k, (a, b) in enumerate([(0, 20), (5, 15), (3, 22), (7, 19)]):
+            router.send(a, b, f"pkt{k}", kind="app")
+        sim.schedule(1.0, world.set_down, 10)
+        sim.schedule(1.5, world.set_down, 11)
+        for k, (a, b) in enumerate([(0, 20), (5, 15)]):
+            sim.schedule(
+                2.0, lambda a=a, b=b, k=k: router.send(a, b, f"late{k}", kind="app")
+            )
+        sim.run(until=30.0)
+        for dst, src, payload, hops in inbox:
+            assert 0 < hops <= 25
+
+
+class TestConfig:
+    def test_ring_ttls_monotone_then_capped(self):
+        cfg = AodvConfig(ttl_start=2, ttl_increment=2, ttl_threshold=7, net_diameter=20, rreq_retries=2)
+        ttls = cfg.ring_ttls()
+        assert ttls == [2, 4, 6, 20, 20, 20]
+
+    def test_discovery_timeout_scales_with_ttl(self):
+        cfg = AodvConfig()
+        assert cfg.discovery_timeout(10) > cfg.discovery_timeout(2)

@@ -1,0 +1,101 @@
+"""Tests for the AODV route table freshness rules."""
+
+from repro.aodv import SEQ_UNKNOWN, RouteTable
+
+
+def make_table():
+    return RouteTable(owner=0)
+
+
+class TestOffer:
+    def test_first_offer_installs(self):
+        t = make_table()
+        assert t.offer(5, next_hop=1, hop_count=3, dest_seq=10, expires_at=100.0)
+        entry = t.lookup(5, now=0.0)
+        assert entry is not None and entry.next_hop == 1 and entry.hop_count == 3
+
+    def test_newer_seq_wins(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        assert t.offer(5, 2, 9, 11, 100.0)  # worse hops but fresher seq
+        assert t.lookup(5, 0.0).next_hop == 2
+
+    def test_older_seq_rejected(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        assert not t.offer(5, 2, 1, 9, 100.0)
+        assert t.lookup(5, 0.0).next_hop == 1
+
+    def test_equal_seq_fewer_hops_wins(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        assert t.offer(5, 2, 2, 10, 100.0)
+        assert not t.offer(5, 3, 2, 10, 100.0)  # ties lose
+        assert t.lookup(5, 0.0).next_hop == 2
+
+    def test_unknown_seq_only_fills_holes(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        assert not t.offer(5, 2, 1, SEQ_UNKNOWN, 100.0)
+        t.invalidate(5)
+        assert t.offer(5, 2, 1, SEQ_UNKNOWN, 100.0)
+
+    def test_known_seq_replaces_unknown(self):
+        t = make_table()
+        t.offer(5, 1, 3, SEQ_UNKNOWN, 100.0)
+        assert t.offer(5, 2, 5, 1, 100.0)
+
+
+class TestLifetime:
+    def test_expired_route_invisible(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, expires_at=50.0)
+        assert t.lookup(5, now=49.0) is not None
+        assert t.lookup(5, now=51.0) is None
+
+    def test_refresh_extends(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, expires_at=50.0)
+        t.refresh(5, expires_at=80.0)
+        assert t.lookup(5, now=70.0) is not None
+
+    def test_refresh_never_shortens(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, expires_at=50.0)
+        t.refresh(5, expires_at=10.0)
+        assert t.lookup(5, now=40.0) is not None
+
+
+class TestInvalidation:
+    def test_invalidate_bumps_seq(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        entry = t.invalidate(5)
+        assert entry is not None and entry.dest_seq == 11
+        assert t.lookup(5, 0.0) is None
+
+    def test_invalidate_missing_is_none(self):
+        assert make_table().invalidate(99) is None
+
+    def test_invalidate_via_next_hop(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        t.offer(6, 1, 2, 4, 100.0)
+        t.offer(7, 2, 2, 4, 100.0)
+        broken = t.invalidate_via(1)
+        assert sorted(e.dest for e in broken) == [5, 6]
+        assert t.lookup(7, 0.0) is not None
+
+    def test_reinstall_after_invalidation_needs_fresher_seq(self):
+        t = make_table()
+        t.offer(5, 1, 3, 10, 100.0)
+        t.invalidate(5)  # seq now 11
+        assert not t.offer(5, 2, 1, 10, 100.0)  # stale
+        assert t.offer(5, 2, 1, 11, 100.0)
+
+    def test_len_and_iter(self):
+        t = make_table()
+        t.offer(5, 1, 1, 1, 10.0)
+        t.offer(6, 1, 1, 1, 10.0)
+        assert len(t) == 2
+        assert sorted(e.dest for e in t) == [5, 6]

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "fig7", "--duration", "60", "--reps", "2"]
+        )
+        assert args.figure == "fig7" and args.duration == 60.0 and args.reps == 2
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Centralized" in out and "TTL for queries" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--nodes", "15", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "received totals" in out and "events dispatched" in out
+
+    def test_figure_scaled(self, capsys):
+        assert (
+            main(["figure", "fig9", "--duration", "90", "--reps", "1", "--routing", "oracle"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig9" in out and "shape checks" in out

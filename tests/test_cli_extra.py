@@ -1,0 +1,74 @@
+"""Tests for the newer CLI commands (sweep, map, reproduce, formats)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSweepCommand:
+    def test_sweep_algorithm(self, capsys):
+        assert main(["sweep", "algorithm", "basic", "regular", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "basic" in out and "regular" in out and "answer_rate" in out
+
+    def test_sweep_nodes(self, capsys):
+        assert main(["sweep", "nodes", "10", "20", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "10" in out and "20" in out
+
+    def test_sweep_rejects_bad_parameter(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "flux", "1"])
+
+
+class TestMapCommand:
+    def test_map_renders(self, capsys):
+        assert main(["map", "--nodes", "12", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "+--" in out and "overlay" in out
+
+
+class TestFigureFormats:
+    ARGS = ["figure", "fig9", "--duration", "60", "--reps", "1", "--routing", "oracle"]
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["exp_id"] == "fig9"
+
+    def test_csv_output(self, capsys):
+        assert main(self.ARGS + ["--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("exp_id,algorithm,series,index,value")
+
+    def test_chart_and_compare(self, capsys):
+        assert main(self.ARGS + ["--chart", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "|" in out  # chart axis
+
+
+class TestReproduceCommand:
+    def test_reproduce_subset(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "res")
+        assert (
+            main(
+                [
+                    "reproduce",
+                    "--out",
+                    out_dir,
+                    "--figures",
+                    "fig7",
+                    "--duration",
+                    "60",
+                    "--reps",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "artifacts written" in out
+        assert (tmp_path / "res" / "SUMMARY.md").exists()

@@ -1,0 +1,94 @@
+"""Tests for the optional file-transfer (download/replication) plane."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryConfig
+from repro.core.messages import FileData, FileRequest
+from repro.scenarios import ScenarioConfig, run_scenario
+from repro.sim import Simulator
+
+from .fakes import make_overlay_line
+
+
+def dl_config(**kw):
+    defaults = dict(download=True, warmup=1.0, response_wait=2.0, gap_min=1.0, gap_max=2.0)
+    defaults.update(kw)
+    return QueryConfig(**defaults)
+
+
+class TestTransferPlane:
+    def test_answered_query_triggers_download(self):
+        sim = Simulator()
+        _, s = make_overlay_line(
+            sim, 3, files_at={2: {5}}, query_config=dl_config(), num_files=10
+        )
+        rec = s[0].query_engine.issue_query(file_id=5)
+        sim.run(until=0.5)
+        s[0].query_engine._close(rec)
+        sim.run(until=2.0)
+        assert s[0].store.has(5)
+        assert s[0].query_engine.downloads == [5]
+        assert s[2].query_engine.uploads == [5]
+
+    def test_nearest_holder_chosen(self):
+        sim = Simulator()
+        _, s = make_overlay_line(
+            sim, 5, files_at={1: {3}, 4: {3}}, query_config=dl_config(), num_files=10
+        )
+        rec = s[0].query_engine.issue_query(file_id=3)
+        sim.run(until=0.5)
+        s[0].query_engine._close(rec)
+        sim.run(until=2.0)
+        assert s[1].query_engine.uploads == [3]
+        assert s[4].query_engine.uploads == []
+
+    def test_no_download_when_already_held(self):
+        sim = Simulator()
+        _, s = make_overlay_line(
+            sim, 3, files_at={0: {7}, 2: {7}}, query_config=dl_config(), num_files=10
+        )
+        rec = s[0].query_engine.issue_query(file_id=7)
+        sim.run(until=0.5)
+        s[0].query_engine._close(rec)
+        sim.run(until=2.0)
+        assert s[0].query_engine.downloads == []
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        _, s = make_overlay_line(sim, 3, files_at={2: {5}}, num_files=10)
+        rec = s[0].query_engine.issue_query(file_id=5)
+        sim.run(until=0.5)
+        s[0].query_engine._close(rec)
+        sim.run(until=2.0)
+        assert not s[0].store.has(5)
+
+    def test_request_for_missing_file_ignored(self):
+        sim = Simulator()
+        _, s = make_overlay_line(sim, 2, query_config=dl_config(), num_files=5)
+        s[1].query_engine.on_file_request(0, FileRequest(requirer=0, file_id=9, qid=1))
+        sim.run(until=1.0)
+        assert s[1].query_engine.uploads == []
+
+    def test_duplicate_file_data_not_double_counted(self):
+        sim = Simulator()
+        _, s = make_overlay_line(sim, 2, query_config=dl_config(), num_files=5)
+        s[0].query_engine.on_file_data(1, FileData(holder=1, file_id=2, qid=1))
+        s[0].query_engine.on_file_data(1, FileData(holder=1, file_id=2, qid=1))
+        assert s[0].query_engine.downloads == [2]
+
+
+class TestReplicationEffect:
+    def test_popular_files_spread_in_full_scenario(self):
+        cfg = ScenarioConfig(
+            num_nodes=40,
+            duration=500.0,
+            algorithm="regular",
+            seed=8,
+        )
+        from dataclasses import replace
+
+        cfg = cfg.with_(query=dl_config(warmup=60.0, response_wait=15.0, gap_min=10.0, gap_max=20.0))
+        res = run_scenario(cfg)
+        # Transfers happened and were counted in their own family.
+        assert res.totals["transfer"] > 0

@@ -1,0 +1,36 @@
+"""Smoke tests: every example runs end to end (scaled down).
+
+Examples honour ``REPRO_EXAMPLE_SCALE`` so the suite stays fast; what
+matters here is that the public API usage in each script works, not the
+numbers it prints.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    # The deliverable requires a quickstart plus domain scenarios.
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    env = dict(os.environ, REPRO_EXAMPLE_SCALE="0.08")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,100 @@
+"""Tests for time-series sampling."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Sampler,
+    probe_alive,
+    probe_family_total,
+    probe_mean_degree,
+)
+from repro.sim import Simulator
+
+from .overlay_helpers import build_overlay
+
+
+class TestSampler:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Sampler(sim, 0.0, {"x": lambda: 1.0})
+        with pytest.raises(ValueError):
+            Sampler(sim, 1.0, {})
+
+    def test_samples_at_period(self):
+        sim = Simulator()
+        s = Sampler(sim, 10.0, {"clock": lambda: sim.now})
+        sim.run(until=35.0)
+        t, v = s.series("clock")
+        assert list(t) == [0.0, 10.0, 20.0, 30.0]
+        assert np.array_equal(t, v)
+
+    def test_stop(self):
+        sim = Simulator()
+        s = Sampler(sim, 5.0, {"x": lambda: 1.0})
+        sim.run(until=12.0)
+        s.stop()
+        sim.run(until=50.0)
+        assert len(s.times) == 3  # 0, 5, 10
+
+    def test_rate_of_cumulative(self):
+        sim = Simulator()
+        counter = {"v": 0.0}
+
+        def bump():
+            counter["v"] += 30.0
+
+        for t in np.arange(1.0, 40.0, 1.0):
+            sim.schedule(float(t), bump)
+        s = Sampler(sim, 10.0, {"total": lambda: counter["v"]})
+        sim.run(until=35.0)
+        mid, rate = s.rate("total")
+        assert len(rate) == 3
+        assert rate[1] == pytest.approx(30.0)  # 30 units/s in steady state
+
+    def test_rate_too_short(self):
+        sim = Simulator()
+        s = Sampler(sim, 10.0, {"x": lambda: 1.0})
+        sim.run(until=5.0)
+        mid, rate = s.rate("x")
+        assert len(mid) == 0
+
+    def test_settled_after(self):
+        sim = Simulator()
+        # value ramps to 10 by t=30, flat afterwards
+        s = Sampler(sim, 10.0, {"ramp": lambda: min(sim.now / 3.0, 10.0)})
+        sim.run(until=80.0)
+        settle = s.settled_after("ramp", tolerance=0.05)
+        assert 20.0 <= settle <= 40.0
+
+    def test_never_settles_is_nan(self):
+        sim = Simulator()
+        s = Sampler(sim, 10.0, {"grow": lambda: sim.now})
+        sim.run(until=60.0)
+        assert np.isnan(s.settled_after("grow", tolerance=0.01))
+
+
+class TestStockProbes:
+    def test_overlay_formation_curve(self):
+        pts = [[10, 10], [15, 10], [10, 15], [15, 15]]
+        sim, world, overlay, metrics = build_overlay(pts, algorithm="regular")
+        sampler = Sampler(
+            sim,
+            20.0,
+            {
+                "degree": probe_mean_degree(overlay),
+                "alive": probe_alive(world),
+                "pings": probe_family_total(metrics, "ping"),
+            },
+        )
+        overlay.start(queries=False)
+        sim.run(until=200.0)
+        t, deg = sampler.series("degree")
+        assert deg[0] == 0.0  # nothing formed at t=0
+        assert deg[-1] > 0.0  # overlay formed
+        _, alive = sampler.series("alive")
+        assert (alive == 4).all()
+        _, pings = sampler.series("pings")
+        assert pings[-1] > 0
+        assert (np.diff(pings) >= 0).all()  # cumulative

@@ -1,0 +1,84 @@
+"""Tests for Manhattan-grid mobility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import Area, ManhattanGrid
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestManhattan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManhattanGrid(2, Area(), rng(), blocks_x=0)
+        with pytest.raises(ValueError):
+            ManhattanGrid(2, Area(), rng(), min_speed=0)
+        with pytest.raises(ValueError):
+            ManhattanGrid(2, Area(), rng(), p_straight=1.5)
+
+    @given(st.integers(0, 200), st.floats(0.0, 2000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_stays_in_area(self, seed, t):
+        area = Area(100, 100)
+        m = ManhattanGrid(6, area, rng(seed))
+        assert area.contains(m.positions(t)).all()
+
+    def test_positions_on_grid_lines(self):
+        area = Area(100, 100)
+        m = ManhattanGrid(8, area, rng(3), blocks_x=4, blocks_y=4)
+        sx, sy = 25.0, 25.0
+        for t in np.arange(0.0, 500.0, 13.0):
+            pos = m.positions(float(t))
+            on_vertical = np.isclose(pos[:, 0] % sx, 0) | np.isclose(pos[:, 0] % sx, sx)
+            on_horizontal = np.isclose(pos[:, 1] % sy, 0) | np.isclose(pos[:, 1] % sy, sy)
+            assert (on_vertical | on_horizontal).all()
+
+    def test_segment_endpoints_are_intersections(self):
+        area = Area(100, 100)
+        m = ManhattanGrid(4, area, rng(5), blocks_x=4, blocks_y=4)
+        m.positions(300.0)  # drive several segments
+        sx, sy = 25.0, 25.0
+        dest = m._dest
+        assert np.allclose(dest[:, 0] % sx, 0, atol=1e-6) | np.allclose(
+            dest[:, 0] % sx, sx, atol=1e-6
+        )
+        # both coordinates snap to the lattice
+        for d in dest:
+            assert min(d[0] % sx, sx - d[0] % sx) < 1e-6
+            assert min(d[1] % sy, sy - d[1] % sy) < 1e-6
+
+    def test_nodes_move(self):
+        m = ManhattanGrid(10, Area(), rng(7))
+        p0, p1 = m.positions(0.0), m.positions(200.0)
+        assert (np.hypot(*(p1 - p0).T) > 1.0).sum() >= 8
+
+    def test_straight_preference(self):
+        # With p_straight=1, a node in the middle keeps direction until
+        # it must turn at the boundary: direction changes are rare.
+        def turns(p_straight, seed=11):
+            m = ManhattanGrid(
+                1, Area(1000, 1000), rng(seed), blocks_x=20, blocks_y=20,
+                p_straight=p_straight,
+            )
+            headings = []
+            prev = m.positions(0.0)[0].copy()
+            for t in np.arange(5.0, 2000.0, 5.0):
+                cur = m.positions(float(t))[0]
+                d = cur - prev
+                if np.hypot(*d) > 1e-9:
+                    headings.append(np.arctan2(d[1], d[0]).round(3))
+                prev = cur.copy()
+            return sum(1 for a, b in zip(headings, headings[1:]) if a != b)
+
+        assert turns(1.0) < turns(0.0)
+
+    def test_scenario_integration(self):
+        from repro.scenarios import ScenarioConfig, build_scenario
+
+        s = build_scenario(ScenarioConfig(num_nodes=10, mobility="manhattan"))
+        assert isinstance(s.mobility, ManhattanGrid)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII world/overlay renderer."""
+
+from repro.net import render_overlay_summary, render_world
+
+from .helpers import line_positions, make_world
+from .overlay_helpers import build_overlay
+
+
+class TestRenderWorld:
+    def test_renders_grid_with_nodes(self):
+        _, world, _ = make_world([[10, 10], [50, 50]], area=None)
+        out = render_world(world, width=30, height=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert "2 nodes" in lines[-1]
+        body = "\n".join(lines[1:-2])
+        assert "0" in body and "1" in body
+
+    def test_down_node_marked_x(self):
+        _, world, _ = make_world([[10, 10], [50, 50]])
+        world.set_down(1)
+        out = render_world(world, width=30, height=10)
+        assert "x" in out
+
+    def test_custom_labels(self):
+        _, world, _ = make_world([[10, 10], [50, 50]])
+        out = render_world(world, width=30, height=10, label=lambda i: "M" if i == 0 else "s")
+        assert "M" in out and "s" in out
+
+    def test_collision_renders_plus(self):
+        _, world, _ = make_world([[10, 10], [10.01, 10.01]])
+        out = render_world(world, width=10, height=5)
+        assert "+" in out.splitlines()[2] or "+" in out  # shared cell
+
+
+class TestRenderOverlay:
+    def test_summary_lists_members(self):
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, _ = build_overlay(pts, algorithm="regular")
+        overlay.start(queries=False)
+        sim.run(until=60.0)
+        out = render_overlay_summary(overlay)
+        assert "node   0" in out and "node   1" in out
+        assert "-> 1" in out or "-> 0" in out
+
+    def test_hybrid_roles_shown(self):
+        pts = [[10, 10], [15, 10]]
+        sim, _, overlay, _ = build_overlay(
+            pts, algorithm="hybrid", qualifiers={0: 0.9, 1: 0.1}
+        )
+        overlay.start(queries=False)
+        sim.run(until=200.0)
+        out = render_overlay_summary(overlay)
+        assert "[master" in out and "[slave" in out

@@ -1,0 +1,149 @@
+"""Tests for the physical world: adjacency, BFS hops, churn, caching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import Area, RandomWaypoint, Static
+from repro.net import UNREACHABLE, EnergyModel, World
+from repro.sim import Simulator
+
+from .helpers import line_positions, make_world
+
+
+class TestAdjacency:
+    def test_line_topology(self):
+        sim, world, _ = make_world(line_positions(4, spacing=8.0), radio_range=10.0)
+        adj = world.adjacency()
+        # 8 m spacing, 10 m range: only consecutive nodes connect.
+        expected = np.zeros((4, 4), dtype=bool)
+        for i in range(3):
+            expected[i, i + 1] = expected[i + 1, i] = True
+        assert np.array_equal(adj, expected)
+
+    def test_no_self_links(self):
+        _, world, _ = make_world([[0, 0], [1, 0]], radio_range=5)
+        assert not world.adjacency().diagonal().any()
+
+    def test_symmetric(self):
+        pts = np.random.default_rng(0).random((30, 2)) * 50
+        _, world, _ = make_world(pts, radio_range=12)
+        adj = world.adjacency()
+        assert np.array_equal(adj, adj.T)
+
+    def test_range_boundary_inclusive(self):
+        _, world, _ = make_world([[0, 0], [10.0, 0]], radio_range=10.0)
+        assert world.adjacency()[0, 1]
+
+    def test_neighbors(self):
+        _, world, _ = make_world(line_positions(5, spacing=8.0))
+        assert list(world.neighbors(2)) == [1, 3]
+        assert list(world.neighbors(0)) == [1]
+
+    def test_invalid_range(self):
+        sim = Simulator()
+        mob = Static(2, Area(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            World(sim, mob, radio_range=0)
+
+    def test_energy_size_mismatch(self):
+        sim = Simulator()
+        mob = Static(3, Area(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            World(sim, mob, energy=EnergyModel(2))
+
+
+class TestHops:
+    def test_line_hops(self):
+        _, world, _ = make_world(line_positions(5, spacing=8.0))
+        d = world.hops_from(0)
+        assert list(d) == [0, 1, 2, 3, 4]
+        assert world.hop_distance(1, 4) == 3
+
+    def test_disconnected(self):
+        _, world, _ = make_world([[0, 0], [8, 0], [500, 500]])
+        assert world.hop_distance(0, 2) == UNREACHABLE
+        assert not world.reachable(0, 2)
+        assert world.reachable(0, 1)
+
+    def test_self_distance_zero(self):
+        _, world, _ = make_world(line_positions(3))
+        assert world.hop_distance(1, 1) == 0
+
+    def test_bfs_matches_networkx(self):
+        import networkx as nx
+
+        pts = np.random.default_rng(7).random((40, 2)) * 60
+        _, world, _ = make_world(pts, radio_range=15)
+        g = nx.from_numpy_array(world.adjacency())
+        lengths = nx.single_source_shortest_path_length(g, 5)
+        d = world.hops_from(5)
+        for j in range(40):
+            expected = lengths.get(j, UNREACHABLE)
+            assert d[j] == expected
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality_via_bfs(self, seed):
+        pts = np.random.default_rng(seed).random((15, 2)) * 40
+        _, world, _ = make_world(pts, radio_range=12)
+        d0 = world.hops_from(0)
+        for j in range(15):
+            if d0[j] > 0:
+                # some neighbor of j must be exactly one hop closer to 0
+                nbrs = world.neighbors(j)
+                assert any(d0[k] == d0[j] - 1 for k in nbrs)
+
+
+class TestCaching:
+    def test_positions_cached_per_time(self):
+        sim = Simulator()
+        mob = RandomWaypoint(10, Area(), np.random.default_rng(0))
+        world = World(sim, mob)
+        p1 = world.positions()
+        p2 = world.positions()
+        assert p1 is p2  # same snapshot object while clock unchanged
+
+    def test_adjacency_refreshes_with_time(self):
+        sim = Simulator()
+        mob = RandomWaypoint(10, Area(20, 20), np.random.default_rng(3), max_pause=1.0)
+        world = World(sim, mob, radio_range=5)
+        a0 = world.adjacency().copy()
+        sim.schedule(500.0, lambda: None)
+        sim.run()
+        a1 = world.adjacency()
+        assert a0.shape == a1.shape  # and no exception: cache rebuilt
+        assert world._adj_time == 500.0
+
+    def test_bfs_cache_cleared_on_time_change(self):
+        sim = Simulator()
+        mob = RandomWaypoint(8, Area(30, 30), np.random.default_rng(1), max_pause=0.5)
+        world = World(sim, mob, radio_range=8)
+        world.hops_from(0)
+        assert 0 in world._bfs
+        sim.schedule(200.0, lambda: None)
+        sim.run()
+        world.adjacency()
+        assert 0 not in world._bfs
+
+
+class TestChurn:
+    def test_down_node_has_no_links(self):
+        _, world, _ = make_world(line_positions(3, spacing=8.0))
+        world.set_down(1)
+        adj = world.adjacency()
+        assert not adj[1].any() and not adj[:, 1].any()
+        assert world.hop_distance(0, 2) == UNREACHABLE
+
+    def test_revive(self):
+        _, world, _ = make_world(line_positions(3, spacing=8.0))
+        world.set_down(1)
+        world.set_down(1, down=False)
+        assert world.hop_distance(0, 2) == 2
+
+    def test_is_up_tracks_energy(self):
+        _, world, _ = make_world([[0, 0], [5, 0]], capacity=1e-4)
+        assert world.is_up(0)
+        world.energy.charge_tx(0, 10_000)  # huge frame: drains battery
+        assert not world.is_up(0)

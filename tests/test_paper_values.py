@@ -1,0 +1,68 @@
+"""Tests for the encoded paper figure content and comparison helper."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_FIGURES, compare_with_paper
+from repro.experiments.figures import FigureResult
+
+
+class TestPaperRecords:
+    def test_all_eight_figures_recorded(self):
+        assert set(PAPER_FIGURES) == {f"fig{i}" for i in range(5, 13)}
+
+    def test_every_figure_has_claims(self):
+        for fig in PAPER_FIGURES.values():
+            assert fig.claims, f"{fig.exp_id} has no recorded claims"
+            lo, hi = fig.y_range
+            assert lo < hi
+
+    def test_150_node_ranges_exceed_50_node_ranges(self):
+        # the paper's 150-node figures show more traffic
+        assert PAPER_FIGURES["fig8"].y_range[1] > PAPER_FIGURES["fig7"].y_range[1]
+        assert PAPER_FIGURES["fig10"].y_range[1] > PAPER_FIGURES["fig9"].y_range[1]
+        assert PAPER_FIGURES["fig12"].y_range[1] > PAPER_FIGURES["fig11"].y_range[1]
+
+
+def curve_result(totals):
+    res = FigureResult(
+        exp_id="fig7",
+        kind="message_curve",
+        num_nodes=50,
+        duration=100.0,
+        reps=1,
+        family="connect",
+    )
+    res.series = {
+        alg: {"curve": np.array([float(t), float(t) / 2])} for alg, t in totals.items()
+    }
+    res.totals = {k: float(v) for k, v in totals.items()}
+    return res
+
+
+class TestCompare:
+    def test_agreeing_result(self):
+        res = curve_result({"basic": 100, "regular": 40, "random": 60, "hybrid": 40})
+        rows = compare_with_paper(res)
+        assert all(r["holds"] for r in rows)
+        claims = {r["claim"] for r in rows}
+        assert "basic generates the most connect traffic" in claims
+
+    def test_disagreeing_result_flagged(self):
+        res = curve_result({"basic": 10, "regular": 400, "random": 60, "hybrid": 40})
+        rows = compare_with_paper(res)
+        basic_row = next(
+            r for r in rows if r["claim"] == "basic generates the most connect traffic"
+        )
+        assert basic_row["holds"] is False
+
+    def test_unknown_figure_rejected(self):
+        res = curve_result({"basic": 1, "regular": 1, "random": 1, "hybrid": 1})
+        res.exp_id = "fig99"
+        with pytest.raises(ValueError):
+            compare_with_paper(res)
+
+    def test_rows_carry_paper_prose(self):
+        res = curve_result({"basic": 100, "regular": 40, "random": 60, "hybrid": 40})
+        rows = compare_with_paper(res)
+        assert all(r["paper_says"] for r in rows)

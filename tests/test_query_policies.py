@@ -1,0 +1,73 @@
+"""Tests for query target policies and timing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryConfig
+from repro.sim import Simulator
+
+from .fakes import FakeFabric, FakeServent
+
+
+class TestTargetPolicies:
+    def _pick_many(self, target, num_files=10, n=4000, seed=0):
+        sim = Simulator()
+        fabric = FakeFabric(sim)
+        servent = FakeServent(
+            0,
+            sim,
+            fabric,
+            num_files=num_files,
+            query_config=QueryConfig(target=target),
+            seed=seed,
+        )
+        engine = servent.query_engine
+        return np.array([engine._pick_file() for _ in range(n)])
+
+    def test_uniform_covers_all_files(self):
+        picks = self._pick_many("uniform")
+        counts = np.bincount(picks, minlength=11)[1:]
+        assert (counts > 0).all()
+        # roughly uniform: max/min ratio below 2 at this sample size
+        assert counts.max() / counts.min() < 2.0
+
+    def test_zipf_prefers_popular_files(self):
+        picks = self._pick_many("zipf")
+        counts = np.bincount(picks, minlength=11)[1:]
+        assert counts[0] > counts[4] > 0
+        # rank1:rank5 ratio approx 5 (weight 1 vs 1/5); generous band
+        assert 2.5 < counts[0] / counts[4] < 10.0
+
+    def test_picks_in_range(self):
+        for target in ("uniform", "zipf"):
+            picks = self._pick_many(target, num_files=7, n=500)
+            assert picks.min() >= 1 and picks.max() <= 7
+
+
+class TestQueryTiming:
+    def test_first_query_after_warmup_fraction(self):
+        sim = Simulator()
+        fabric = FakeFabric(sim)
+        cfg = QueryConfig(warmup=100.0, response_wait=5.0, gap_min=5.0, gap_max=6.0)
+        s = FakeServent(0, sim, fabric, neighbors=[1], query_config=cfg, num_files=3)
+        FakeServent(1, sim, fabric, neighbors=[0], num_files=3)
+        s.query_engine.start()
+        sim.run(until=49.0)
+        assert len(s.query_engine.records) == 0  # warmup floor is 0.5*warmup
+        sim.run(until=300.0)
+        assert len(s.query_engine.records) > 0
+        first = s.query_engine.records[0]
+        assert first.issued_at >= 50.0
+
+    def test_gap_respected_between_queries(self):
+        sim = Simulator()
+        fabric = FakeFabric(sim)
+        cfg = QueryConfig(warmup=1.0, response_wait=10.0, gap_min=20.0, gap_max=30.0)
+        s = FakeServent(0, sim, fabric, neighbors=[1], query_config=cfg, num_files=3)
+        FakeServent(1, sim, fabric, neighbors=[0], num_files=3)
+        s.query_engine.start()
+        sim.run(until=500.0)
+        times = [r.issued_at for r in s.query_engine.records]
+        gaps = np.diff(times)
+        # each cycle = response_wait + U(20, 30)
+        assert (gaps >= 30.0 - 1e-9).all() and (gaps <= 40.0 + 1e-9).all()

@@ -1,0 +1,45 @@
+"""Tests for the one-call reproduction orchestrator."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import reproduce_all
+
+
+class TestReproduceAll:
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            reproduce_all(str(tmp_path), figures=["fig99"])
+
+    def test_artifacts_written(self, tmp_path):
+        out = str(tmp_path / "res")
+        results = reproduce_all(
+            out, figures=["fig7"], duration=100.0, reps=1, seed=2
+        )
+        assert set(results) == {"fig7"}
+        for name in ("tables.txt", "SUMMARY.md", "fig7.txt", "fig7.json", "fig7.csv"):
+            assert os.path.exists(os.path.join(out, name)), name
+        with open(os.path.join(out, "fig7.json")) as fh:
+            data = json.load(fh)
+        assert data["exp_id"] == "fig7"
+        assert set(data["series"]) == {"basic", "regular", "random", "hybrid"}
+
+    def test_summary_counts_claims(self, tmp_path):
+        out = str(tmp_path / "res")
+        reproduce_all(out, figures=["fig9"], duration=100.0, reps=1, seed=2)
+        summary = open(os.path.join(out, "SUMMARY.md")).read()
+        assert "paper claims checked:" in summary
+        assert "fig9" in summary
+
+    def test_progress_callback(self, tmp_path):
+        lines = []
+        reproduce_all(
+            str(tmp_path / "r"),
+            figures=["fig7"],
+            duration=60.0,
+            reps=1,
+            progress=lines.append,
+        )
+        assert any("fig7" in line for line in lines)

@@ -1,0 +1,36 @@
+"""Integration: every routing protocol sustains the overlay under the
+paper's mobility (not just on static line topologies)."""
+
+import pytest
+
+from repro.scenarios import ScenarioConfig, run_scenario
+
+
+@pytest.mark.parametrize("routing", ("aodv", "dsdv", "dsr", "oracle"))
+def test_protocol_sustains_overlay_under_waypoint_mobility(routing):
+    res = run_scenario(
+        ScenarioConfig(
+            num_nodes=40,
+            duration=400.0,
+            algorithm="regular",
+            routing=routing,
+            seed=47,
+        )
+    )
+    # The overlay forms...
+    assert res.overlay_stats["mean_degree"] > 0.3, routing
+    # ...pings flow (maintenance works over this router)...
+    assert res.totals["ping"] > 0, routing
+    # ...and at least some queries get answered.
+    answered = sum(s.answered for s in res.file_stats)
+    assert answered > 0, routing
+
+
+@pytest.mark.parametrize("routing", ("aodv", "dsdv", "dsr"))
+def test_protocols_deterministic(routing):
+    cfg = ScenarioConfig(
+        num_nodes=25, duration=200.0, algorithm="regular", routing=routing, seed=53
+    )
+    a, b = run_scenario(cfg), run_scenario(cfg)
+    assert a.totals == b.totals
+    assert a.events == b.events

@@ -1,0 +1,132 @@
+"""Tests for scenario config, builder and runner."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ScenarioConfig,
+    build_scenario,
+    run_repetitions,
+    run_scenario,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.num_nodes == 50
+        assert cfg.area_width == cfg.area_height == 100.0
+        assert cfg.radio_range == 10.0
+        assert cfg.p2p_fraction == 0.75
+        assert cfg.num_files == 20
+        assert cfg.max_freq == 0.4
+        assert cfg.duration == 3600.0
+        assert cfg.p2p.nhops_initial == 2
+        assert cfg.p2p.max_nhops == 6
+        assert cfg.p2p.nhops_basic == 6
+        assert cfg.p2p.max_dist == 6
+        assert cfg.p2p.max_connections == 3
+        assert cfg.p2p.max_slaves == 3
+        assert cfg.query.ttl == 6
+
+    def test_num_members_rounding(self):
+        assert ScenarioConfig(num_nodes=50).num_members == 38  # round(37.5)
+        assert ScenarioConfig(num_nodes=150).num_members == 112  # round(112.5)
+
+    def test_with_override(self):
+        cfg = ScenarioConfig().with_(num_nodes=150, algorithm="hybrid")
+        assert cfg.num_nodes == 150 and cfg.algorithm == "hybrid"
+        assert cfg.radio_range == 10.0
+
+    def test_repetition_seed(self):
+        cfg = ScenarioConfig(seed=10)
+        assert cfg.for_repetition(3).seed == 13
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_nodes=1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(p2p_fraction=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(algorithm="gnutella2")
+        with pytest.raises(ValueError):
+            ScenarioConfig(routing="ospf")
+        with pytest.raises(ValueError):
+            ScenarioConfig(mobility="teleport")
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration=0)
+
+
+class TestBuilder:
+    def test_layers_wired(self):
+        s = build_scenario(ScenarioConfig(num_nodes=20, duration=10.0))
+        assert s.world.n == 20
+        assert len(s.members) == 15
+        assert len(s.overlay.servents) == 15
+        assert s.metrics.n == 20
+
+    def test_oracle_routing_option(self):
+        from repro.routing import OracleRouter
+
+        s = build_scenario(ScenarioConfig(num_nodes=10, routing="oracle"))
+        assert isinstance(s.router, OracleRouter)
+
+    def test_static_mobility_option(self):
+        from repro.mobility import Static
+
+        s = build_scenario(ScenarioConfig(num_nodes=10, mobility="static"))
+        assert isinstance(s.mobility, Static)
+
+    def test_same_seed_same_membership_and_files(self):
+        a = build_scenario(ScenarioConfig(num_nodes=30, seed=5))
+        b = build_scenario(ScenarioConfig(num_nodes=30, seed=5))
+        assert a.members == b.members
+        for m in a.members:
+            assert a.overlay.servents[m].store.files() == b.overlay.servents[
+                m
+            ].store.files()
+
+    def test_different_seed_different_membership(self):
+        a = build_scenario(ScenarioConfig(num_nodes=40, seed=1))
+        b = build_scenario(ScenarioConfig(num_nodes=40, seed=2))
+        assert a.members != b.members or a.overlay.servents[
+            a.members[0]
+        ].store.files() != b.overlay.servents[b.members[0]].store.files()
+
+
+class TestRunner:
+    def test_run_scenario_harvests(self):
+        res = run_scenario(
+            ScenarioConfig(num_nodes=20, duration=120.0, seed=3, algorithm="regular")
+        )
+        assert res.totals["connect"] > 0
+        assert len(res.sorted_received["connect"]) == 15
+        assert (np.diff(res.sorted_received["connect"]) <= 0).all()
+        assert len(res.file_stats) == 20
+        assert res.energy.shape == (20,)
+        assert res.events > 0
+
+    def test_determinism(self):
+        cfg = ScenarioConfig(num_nodes=20, duration=120.0, seed=7)
+        a = run_scenario(cfg)
+        b = run_scenario(cfg)
+        assert a.totals == b.totals
+        assert np.array_equal(a.sorted_received["connect"], b.sorted_received["connect"])
+        assert np.array_equal(a.energy, b.energy)
+
+    def test_repetitions_differ(self):
+        cfg = ScenarioConfig(num_nodes=20, duration=120.0, seed=0)
+        results = run_repetitions(cfg, 2)
+        assert len(results) == 2
+        assert results[0].totals != results[1].totals
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            run_repetitions(ScenarioConfig(), 0)
+
+    def test_queries_can_be_disabled(self):
+        res = run_scenario(
+            ScenarioConfig(num_nodes=15, duration=120.0, queries=False)
+        )
+        assert res.num_queries == 0
+        assert res.totals["query"] == 0

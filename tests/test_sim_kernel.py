@@ -1,0 +1,224 @@
+"""Unit and property tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Priority, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "low", priority=Priority.LOW)
+        sim.schedule(1.0, fired.append, "high", priority=Priority.HIGH)
+        sim.schedule(1.0, fired.append, "normal", priority=Priority.NORMAL)
+        sim.run()
+        assert fired == ["high", "normal", "low"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_event_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_skipped == 1
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        ev.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControl:
+    def test_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run(until=2.0)
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(1.5, sim.stop)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_event_or_none(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is not None
+        assert sim.step() is None
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        err = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                err.append(e)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(err) == 1
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        ev = sim.schedule(4.0, lambda: None)
+        sim.schedule(7.0, lambda: None)
+        assert sim.peek_time() == 4.0
+        ev.cancel()
+        assert sim.peek_time() == 7.0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_dispatch_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 2)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_order_time_priority_seq(self, items):
+        sim = Simulator()
+        keys = []
+        for i, (d, p) in enumerate(items):
+            ev = sim.schedule(d, lambda: None, priority=p)
+            keys.append((ev, i))
+        order = []
+        while True:
+            ev = sim.step()
+            if ev is None:
+                break
+            order.append(ev.sort_key())
+        assert order == sorted(order)
+
+    @given(st.integers(0, 2**31), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_clock_monotone(self, seed, data):
+        sim = Simulator()
+        times = []
+        n = data.draw(st.integers(1, 30))
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        for d in rng.random(n) * 50:
+            sim.schedule(float(d), lambda: times.append(sim.now))
+        sim.run()
+        assert all(a <= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,76 @@
+"""Tests for the parameter-sweep engine."""
+
+import pytest
+
+from repro.experiments import SweepSpec, run_sweep, sweep_grid
+from repro.scenarios import ScenarioConfig
+
+
+class TestSweepSpec:
+    def test_valid(self):
+        s = SweepSpec("num_nodes", (10, 20))
+        assert s.field == "num_nodes"
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec("num_nodes", ())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec("warp_speed", (1,))
+
+
+class TestGrid:
+    def test_single_spec(self):
+        grid = sweep_grid([SweepSpec("algorithm", ("basic", "regular"))])
+        assert grid == [{"algorithm": "basic"}, {"algorithm": "regular"}]
+
+    def test_cartesian_product(self):
+        grid = sweep_grid(
+            [
+                SweepSpec("algorithm", ("basic", "regular")),
+                SweepSpec("num_nodes", (10, 20, 30)),
+            ]
+        )
+        assert len(grid) == 6
+        assert {"algorithm": "basic", "num_nodes": 20} in grid
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid([SweepSpec("num_nodes", (1,)), SweepSpec("num_nodes", (2,))])
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid([])
+
+
+class TestRunSweep:
+    BASE = ScenarioConfig(num_nodes=15, duration=120.0, seed=9)
+
+    def test_serial_sweep(self):
+        results = run_sweep(
+            self.BASE, [SweepSpec("algorithm", ("basic", "regular"))], reps=1
+        )
+        assert len(results) == 2
+        assert results[0].point == {"algorithm": "basic"}
+        assert results[0].totals["connect"] > 0
+        assert 0.0 <= results[0].answer_rate <= 1.0
+
+    def test_reps_aggregate(self):
+        results = run_sweep(
+            self.BASE, [SweepSpec("num_nodes", (12,))], reps=2
+        )
+        assert results[0].reps == 2
+
+    def test_reps_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(self.BASE, [SweepSpec("num_nodes", (12,))], reps=0)
+
+    def test_parallel_matches_serial(self):
+        specs = [SweepSpec("algorithm", ("basic", "regular"))]
+        serial = run_sweep(self.BASE, specs, reps=1)
+        parallel = run_sweep(self.BASE, specs, reps=1, processes=2)
+        for a, b in zip(serial, parallel):
+            assert a.point == b.point
+            assert a.totals == b.totals
+            assert a.events == b.events

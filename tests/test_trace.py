@@ -1,0 +1,118 @@
+"""Tests for the trace recorder."""
+
+import json
+
+import pytest
+
+from repro.net import Frame
+from repro.sim import TraceRecorder, attach_tracer
+
+from .helpers import line_positions, make_world
+
+
+class TestRecorder:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_record_and_len(self):
+        rec = TraceRecorder()
+        rec.record(1.0, "tx", 0, 1, "p2p", "Ping")
+        rec.record(2.0, "rx", 1, 0, "p2p", "Ping")
+        assert len(rec) == 2
+        assert rec.total_seen == 2
+
+    def test_eviction_keeps_total(self):
+        rec = TraceRecorder(capacity=10)
+        for i in range(25):
+            rec.record(float(i), "tx", 0)
+        assert len(rec) <= 10
+        assert rec.total_seen == 25
+        # newest records survive
+        assert rec.records[-1].time == 24.0
+
+    def test_disabled_recorder_drops(self):
+        rec = TraceRecorder()
+        rec.enabled = False
+        rec.record(1.0, "tx", 0)
+        assert len(rec) == 0
+
+    def test_filter(self):
+        rec = TraceRecorder()
+        rec.record(1.0, "tx", 0, layer="a")
+        rec.record(2.0, "rx", 1, layer="a")
+        rec.record(3.0, "tx", 0, layer="b")
+        assert rec.count(kind="tx") == 2
+        assert rec.count(node=0, layer="b") == 1
+        assert rec.count(t_min=1.5, t_max=2.5) == 1
+
+    def test_ndjson_roundtrip(self):
+        rec = TraceRecorder()
+        rec.record(1.5, "tx", 3, 4, "x", "Y")
+        obj = json.loads(rec.to_ndjson())
+        assert obj == {
+            "time": 1.5,
+            "kind": "tx",
+            "node": 3,
+            "other": 4,
+            "layer": "x",
+            "detail": "Y",
+        }
+
+    def test_csv_header_and_rows(self):
+        rec = TraceRecorder()
+        rec.record(1.0, "rx", 2)
+        lines = rec.to_csv().strip().splitlines()
+        assert lines[0] == "time,kind,node,other,layer,detail"
+        assert lines[1].startswith("1.000000,rx,2")
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.record(1.0, "tx", 0)
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestAttachTracer:
+    def test_traces_unicast_tx_and_rx(self):
+        sim, world, ch = make_world(line_positions(2, spacing=5.0))
+        ch.nodes[1].register("t", lambda f: None)
+        rec = attach_tracer(ch)
+        ch.unicast(Frame(src=0, dst=1, kind="t", payload="hi"))
+        sim.run()
+        assert rec.count(kind="tx", node=0) == 1
+        assert rec.count(kind="rx", node=1) == 1
+
+    def test_traces_failed_unicast_as_drop(self):
+        sim, world, ch = make_world([[0, 0], [500, 0]])
+        rec = attach_tracer(ch)
+        ch.unicast(Frame(src=0, dst=1, kind="t", payload="hi"))
+        sim.run()
+        assert rec.count(kind="drop", node=0) == 1
+
+    def test_traces_broadcast(self):
+        sim, world, ch = make_world([[10, 10], [15, 10], [10, 15]])
+        rec = attach_tracer(ch)
+        ch.broadcast(Frame(src=0, dst=-1, kind="t", payload=None))
+        sim.run()
+        assert rec.count(kind="tx") == 1
+        assert rec.count(kind="rx") == 2
+
+    def test_chains_existing_observer(self):
+        sim, world, ch = make_world(line_positions(2, spacing=5.0))
+        seen = []
+        ch.on_deliver = lambda nid, f: seen.append(nid)
+        rec = attach_tracer(ch)
+        ch.unicast(Frame(src=0, dst=1, kind="t", payload=None))
+        sim.run()
+        assert seen == [1]  # original observer still fires
+        assert rec.count(kind="rx") == 1
+
+    def test_full_scenario_traceable(self):
+        from repro.scenarios import ScenarioConfig, build_scenario
+
+        s = build_scenario(ScenarioConfig(num_nodes=15, duration=60.0, seed=2))
+        rec = attach_tracer(s.channel)
+        s.run()
+        assert rec.total_seen > 0
+        assert rec.count(kind="rx") > 0
