@@ -51,7 +51,7 @@ def test_bfs_all_distances(benchmark):
     world.adjacency()
 
     def bfs():
-        world._bfs.clear()
+        world.topology.clear_distance_cache()
         return world.hops_from(0)
 
     d = benchmark(bfs)

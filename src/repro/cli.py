@@ -75,7 +75,11 @@ def _cmd_tables(_args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for value in args.values:
-        overrides = {"duration": args.duration, "seed": args.seed}
+        overrides = {
+            "duration": args.duration,
+            "seed": args.seed,
+            "topology": args.topology,
+        }
         if args.parameter == "nodes":
             overrides["num_nodes"] = int(value)
         elif args.parameter == "algorithm":
@@ -132,6 +136,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             duration=args.duration,
             algorithm=args.algorithm,
             seed=args.seed,
+            topology=args.topology,
         )
     )
     s.run()
@@ -154,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         routing=args.routing,
         seed=args.seed,
+        topology=args.topology,
     )
     res = run_scenario(cfg)
     if args.json:
@@ -169,6 +175,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(f"energy consumed:  {res.energy.sum():.4f} J")
     return 0
+
+
+def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        choices=("dense", "sparse", "auto"),
+        default="auto",
+        help="physical-topology backend (auto: sparse at large n)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=("basic", "regular", "random", "hybrid"), default="regular"
     )
     world.add_argument("--seed", type=int, default=0)
+    _add_topology_arg(world)
     world.set_defaults(func=_cmd_map)
 
     tab = sub.add_parser("tables", help="print Tables 1 and 2")
@@ -216,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--routing", choices=("aodv", "dsdv", "dsr", "oracle"), default="aodv"
     )
     run.add_argument("--seed", type=int, default=0)
+    _add_topology_arg(run)
     run.add_argument("--json", action="store_true", help="emit the full RunResult as JSON")
     run.set_defaults(func=_cmd_run)
 
@@ -228,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("values", nargs="+", help="values to sweep over")
     sweep.add_argument("--duration", type=float, default=300.0)
     sweep.add_argument("--seed", type=int, default=0)
+    _add_topology_arg(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     rep = sub.add_parser(

@@ -18,7 +18,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from ..net.broadcast import FloodManager
-from ..net.world import UNREACHABLE, World
+from ..net.topology import UNREACHABLE
+from ..net.world import World
 from ..routing.base import Router
 from ..sim.kernel import Simulator
 from .config import P2pConfig

@@ -52,8 +52,7 @@ def reachable_pair_fraction(world: World) -> float:
 def connectivity_stats(world: World) -> Dict[str, float]:
     """Bundle: component count/sizes, isolated nodes, degree, pairs."""
     comps = components(world)
-    adj = world.adjacency()
-    degrees = adj.sum(axis=1)
+    degrees = world.degrees()
     return {
         "components": float(len(comps)),
         "largest_component": float(len(comps[0])) if comps else 0.0,

@@ -5,6 +5,13 @@ from .energy import EnergyModel
 from .packet import BROADCAST, DEFAULT_FRAME_BYTES, Frame
 from .radio import Channel, NetNode
 from .render import render_overlay_summary, render_world
+from .topology import (
+    TOPOLOGY_BACKENDS,
+    DenseTopology,
+    SparseGridTopology,
+    TopologyBackend,
+    make_topology,
+)
 from .world import UNREACHABLE, World
 
 __all__ = [
@@ -18,6 +25,11 @@ __all__ = [
     "NetNode",
     "render_overlay_summary",
     "render_world",
+    "TOPOLOGY_BACKENDS",
+    "TopologyBackend",
+    "DenseTopology",
+    "SparseGridTopology",
+    "make_topology",
     "UNREACHABLE",
     "World",
 ]

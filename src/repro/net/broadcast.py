@@ -16,8 +16,9 @@ distance to a discovered neighbour.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from .packet import DEFAULT_FRAME_BYTES, Frame
 from .radio import Channel, NetNode
@@ -25,6 +26,13 @@ from .radio import Channel, NetNode
 __all__ = ["FloodMessage", "FloodManager"]
 
 FloodId = Tuple[int, int]
+
+#: Default bound on remembered flood ids per node.  A flood id only
+#: matters while copies of that flood are still in flight (a handful of
+#: hop latencies), so the cache needs to cover the set of *active*
+#: floods, not the full history of a 3600 s run.  The default is sized
+#: generously above any burst the paper's workloads produce.
+DEFAULT_SEEN_LIMIT = 4096
 
 
 @dataclass(slots=True)
@@ -71,6 +79,10 @@ class FloodManager:
     count_duplicate:
         Optional callback invoked for each suppressed duplicate copy
         (metrics; the radio energy was already charged by the channel).
+    seen_limit:
+        Bound on the dedup cache: the oldest flood ids are evicted FIFO
+        once more than this many are remembered, so long runs hold
+        O(active floods) ids instead of growing without limit.
     """
 
     def __init__(
@@ -80,15 +92,29 @@ class FloodManager:
         kind: str,
         deliver: Optional[Callable[[int, Any, int], None]] = None,
         count_duplicate: Optional[Callable[[int, Any], None]] = None,
+        *,
+        seen_limit: int = DEFAULT_SEEN_LIMIT,
     ) -> None:
+        if seen_limit < 1:
+            raise ValueError(f"seen_limit must be >= 1, got {seen_limit}")
         self.node = node
         self.channel = channel
         self.kind = kind
         self.deliver = deliver
         self.count_duplicate = count_duplicate
+        self.seen_limit = int(seen_limit)
         self._seq = 0
-        self._seen: Set[FloodId] = set()
+        # FIFO dedup cache: insertion-ordered ids, oldest evicted first.
+        self._seen: "OrderedDict[FloodId, None]" = OrderedDict()
+        #: ids evicted because the cache hit its bound (observability)
+        self.evictions = 0
         node.register(kind, self._on_frame)
+
+    def _remember(self, fid: FloodId) -> None:
+        self._seen[fid] = None
+        if len(self._seen) > self.seen_limit:
+            self._seen.popitem(last=False)
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     def originate(self, payload: Any, nhops: int, size: int = DEFAULT_FRAME_BYTES) -> FloodId:
@@ -101,7 +127,7 @@ class FloodManager:
             raise ValueError(f"nhops must be >= 1, got {nhops}")
         fid = (self.node.nid, self._seq)
         self._seq += 1
-        self._seen.add(fid)  # the origin never re-forwards its own flood
+        self._remember(fid)  # the origin never re-forwards its own flood
         msg = FloodMessage(fid=fid, origin=self.node.nid, hops=0, budget=int(nhops), payload=payload)
         self.channel.broadcast(
             Frame(src=self.node.nid, dst=-1, kind=self.kind, payload=msg, size=size)
@@ -115,7 +141,7 @@ class FloodManager:
             if self.count_duplicate is not None:
                 self.count_duplicate(msg.origin, msg.payload)
             return
-        self._seen.add(msg.fid)
+        self._remember(msg.fid)
         hops_here = msg.hops + 1
         if self.deliver is not None:
             self.deliver(msg.origin, msg.payload, hops_here)

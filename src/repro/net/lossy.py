@@ -92,7 +92,7 @@ class LossyChannel(Channel):
         self.world.energy.charge_tx(frame.src, frame.size)
         self.frames_sent += 1
         ok = (
-            bool(self.world.adjacency()[frame.src, frame.dst])
+            self.world.link(frame.src, frame.dst)
             and self.world.is_up(frame.dst)
             and self._accept(frame.src, frame.dst)
         )

@@ -87,7 +87,7 @@ class CsmaChannel(Channel):
         """Carrier sense: any in-range transmitter currently on air?"""
         now = self.sim.now
         for other, until in self._tx_until.items():
-            if until > now and other != node and self.world.adjacency()[node, other]:
+            if until > now and other != node and self.world.link(node, other):
                 return True
         return False
 
@@ -99,9 +99,7 @@ class CsmaChannel(Channel):
             raise ValueError("use broadcast() for broadcast frames")
         if not self.world.is_up(frame.src):
             return False
-        in_range = bool(self.world.adjacency()[frame.src, frame.dst]) and self.world.is_up(
-            frame.dst
-        )
+        in_range = self.world.link(frame.src, frame.dst) and self.world.is_up(frame.dst)
         self._try_send(frame, attempt=0)
         # Like the base channel, report reachability at send time; the
         # MAC may still destroy the copy (upper layers use timeouts).
@@ -144,8 +142,7 @@ class CsmaChannel(Channel):
         else:
             receivers = (
                 [frame.dst]
-                if bool(self.world.adjacency()[frame.src, frame.dst])
-                and self.world.is_up(frame.dst)
+                if self.world.link(frame.src, frame.dst) and self.world.is_up(frame.dst)
                 else []
             )
         for dst in receivers:

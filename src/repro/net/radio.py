@@ -110,7 +110,7 @@ class Channel:
             return False
         self.world.energy.charge_tx(src, frame.size)
         self.frames_sent += 1
-        ok = bool(self.world.adjacency()[src, dst]) and self.world.is_up(dst)
+        ok = self.world.link(src, dst) and self.world.is_up(dst)
         if ok:
             self.sim.schedule(self.latency, self._deliver, dst, frame)
         self.world.check_depletion()

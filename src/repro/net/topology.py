@@ -1,0 +1,448 @@
+"""Pluggable physical-topology backends.
+
+The physical substrate answers four questions for every layer above it:
+"who is in range of ``i``?", "is there a link ``i``--``j``?", "how many
+ad-hoc hops from ``src`` to everyone?" and "are ``a`` and ``b``
+connected at all?".  :class:`~repro.net.world.World` used to answer them
+from one dense O(n²) adjacency matrix -- exactly right at the paper's
+n = 50..150, hopeless at the thousands of nodes large-MANET work (CARD,
+unstructured-overlay studies) cares about.
+
+This module extracts those queries into a backend interface with two
+interchangeable implementations:
+
+:class:`DenseTopology`
+    The reference implementation and default at paper scale: one
+    vectorized O(n²) pairwise-distance pass per snapshot, a boolean
+    (n, n) matrix, BFS by vectorized frontier expansion over matrix
+    rows.  O(1) ``link``, O(n) ``neighbors``, O(n²) memory.
+
+:class:`SparseGridTopology`
+    A uniform-grid spatial index with cell size equal to the radio
+    range, so a neighbor query inspects at most 9 cells instead of a
+    row of n.  A CSR-style adjacency is built lazily (first graph-wide
+    query per snapshot), BFS runs frontier-at-a-time over the CSR
+    arrays, and per-source distance vectors are memoized under an LRU
+    bound.  O(n·k) time and memory per snapshot at bounded density k --
+    the regime where n grows but the node density (and hence the mean
+    degree) stays fixed.
+
+Both backends share snapshot lifecycle and staleness policy (the
+``snapshot_interval`` quantum, backwards-clock protection, churn
+invalidation) through :class:`TopologyBackend`, and are required by the
+A/B equivalence suite (``tests/test_net_topology.py``) to agree exactly
+on neighbor sets and hop distances.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Tuple, Type, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world imports us)
+    from .world import World
+
+__all__ = [
+    "UNREACHABLE",
+    "TopologyBackend",
+    "DenseTopology",
+    "SparseGridTopology",
+    "TOPOLOGY_BACKENDS",
+    "make_topology",
+]
+
+#: Sentinel hop distance for disconnected pairs.
+UNREACHABLE = -1
+
+#: Default bound on memoized per-source distance vectors.
+DEFAULT_DIST_CACHE = 256
+
+
+class TopologyBackend(abc.ABC):
+    """Snapshot lifecycle + query interface shared by all backends.
+
+    A backend owns the connectivity state derived from one *snapshot* of
+    node positions.  Queries transparently refresh the snapshot when it
+    is stale; staleness follows the owning world's
+    ``snapshot_interval`` (0 means exact per-timestamp snapshots) and a
+    backwards-moving clock always forces a rebuild.
+
+    Per-source hop-distance vectors are memoized in an LRU-bounded cache
+    (``dist_cache_size``) that is flushed on every rebuild.
+
+    Parameters
+    ----------
+    world:
+        The owning :class:`~repro.net.world.World` (positions, radio
+        range, down mask, clock).
+    dist_cache_size:
+        Maximum number of per-source distance vectors kept per snapshot.
+    """
+
+    #: short identifier used by configuration ("dense" / "sparse")
+    name = "abstract"
+
+    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
+        if dist_cache_size < 1:
+            raise ValueError(f"dist_cache_size must be >= 1, got {dist_cache_size}")
+        self.world = world
+        self.dist_cache_size = int(dist_cache_size)
+        self._snap_time = -1.0
+        self._dist: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        #: snapshots computed (observability)
+        self.rebuilds = 0
+        #: hop-distance queries answered from the memo
+        self.dist_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_time(self) -> float:
+        """Time of the current snapshot (-1 when none is valid)."""
+        return self._snap_time
+
+    def refresh(self) -> None:
+        """Rebuild the snapshot if it no longer covers ``sim.now``."""
+        t = self.world.sim.now
+        stale = (
+            self._snap_time < 0.0
+            or t < self._snap_time
+            or (t - self._snap_time) > self.world.snapshot_interval
+        )
+        if stale:
+            self._rebuild(self.world.positions(), self.world.down_mask())
+            self._snap_time = t
+            self._dist.clear()
+            self.rebuilds += 1
+
+    def invalidate(self) -> None:
+        """Drop the snapshot; the next query recomputes everything."""
+        self._snap_time = -1.0
+        self._dist.clear()
+
+    def clear_distance_cache(self) -> None:
+        """Forget memoized per-source distance vectors (benchmarks)."""
+        self._dist.clear()
+
+    @abc.abstractmethod
+    def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
+        """Recompute connectivity from ``pos`` (n,2), excluding ``down``."""
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def neighbors(self, i: int) -> np.ndarray:
+        """Ascending node ids within radio range of ``i`` right now."""
+
+    @abc.abstractmethod
+    def link(self, i: int, j: int) -> bool:
+        """Whether a radio link ``i``--``j`` exists right now."""
+
+    @abc.abstractmethod
+    def degrees(self) -> np.ndarray:
+        """(n,) int array of radio degrees right now."""
+
+    @abc.abstractmethod
+    def adjacency_matrix(self) -> np.ndarray:
+        """Boolean (n, n) in-range matrix (may be materialized on demand).
+
+        Kept for analytics and debugging; hot paths must use
+        :meth:`link` / :meth:`neighbors` instead, which every backend
+        answers without touching an O(n²) structure.
+        """
+
+    @abc.abstractmethod
+    def _bfs(self, src: int) -> np.ndarray:
+        """Uncached single-source hop distances on the current snapshot."""
+
+    def hops_from(self, src: int) -> np.ndarray:
+        """Hop distance from ``src`` to every node (LRU-memoized BFS)."""
+        self.refresh()
+        cached = self._dist.get(src)
+        if cached is not None:
+            self._dist.move_to_end(src)
+            self.dist_cache_hits += 1
+            return cached
+        dist = self._bfs(src)
+        self._dist[src] = dist
+        if len(self._dist) > self.dist_cache_size:
+            self._dist.popitem(last=False)
+        return dist
+
+    def link_count(self) -> int:
+        """Number of undirected radio links right now."""
+        return int(self.degrees().sum()) // 2
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Hops between ``a`` and ``b`` now; UNREACHABLE if disconnected."""
+        return int(self.hops_from(a)[b])
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Whether a multi-hop path currently exists between the nodes."""
+        return self.hop_distance(a, b) != UNREACHABLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} n={self.world.n} t={self._snap_time:.3f}>"
+
+
+class DenseTopology(TopologyBackend):
+    """Reference backend: boolean (n, n) matrix + vectorized BFS.
+
+    One O(n²) pairwise-distance pass per snapshot; every query is then a
+    matrix row / element.  Sub-millisecond at the paper's n = 50..150
+    and the ground truth the sparse backend is checked against.
+    """
+
+    name = "dense"
+
+    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
+        super().__init__(world, dist_cache_size=dist_cache_size)
+        n = world.n
+        self._adj: np.ndarray = np.zeros((n, n), dtype=bool)
+        self._down = np.zeros(n, dtype=bool)
+
+    def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
+        diff = pos[:, None, :] - pos[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        adj = d2 <= self.world.radio_range**2
+        np.fill_diagonal(adj, False)
+        if down.any():
+            adj[down, :] = False
+            adj[:, down] = False
+        self._adj = adj
+        self._down = down.copy()
+
+    # -- queries -------------------------------------------------------
+    def neighbors(self, i: int) -> np.ndarray:
+        self.refresh()
+        return np.flatnonzero(self._adj[i])
+
+    def link(self, i: int, j: int) -> bool:
+        self.refresh()
+        return bool(self._adj[i, j])
+
+    def degrees(self) -> np.ndarray:
+        self.refresh()
+        return self._adj.sum(axis=1)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        self.refresh()
+        return self._adj
+
+    def _bfs(self, src: int) -> np.ndarray:
+        n = self.world.n
+        dist = np.full(n, UNREACHABLE, dtype=np.int32)
+        if self._down[src]:
+            return dist
+        adj = self._adj
+        dist[src] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[src] = True
+        visited = frontier.copy()
+        d = 0
+        while frontier.any():
+            d += 1
+            # all nodes adjacent to the frontier, not yet visited
+            nxt = adj[frontier].any(axis=0) & ~visited
+            if not nxt.any():
+                break
+            dist[nxt] = d
+            visited |= nxt
+            frontier = nxt
+        return dist
+
+
+class SparseGridTopology(TopologyBackend):
+    """Sparse backend: uniform-grid spatial index + lazy CSR adjacency.
+
+    The deployment area is partitioned into square cells of side
+    ``radio_range``; a node's neighbors can then only live in its own
+    cell or the 8 surrounding ones, so a neighbor query touches O(k)
+    candidates (k = nodes per 9-cell block) regardless of n.
+
+    Per snapshot the backend stores only node->cell assignments and a
+    cell->members index (O(n)).  The full CSR adjacency (``indptr`` /
+    ``indices``) is built *lazily* -- only when a graph-wide query (BFS,
+    degrees) first needs it -- by intersecting each occupied cell with
+    its 3x3 neighborhood, vectorized per cell.  Administratively-down
+    nodes are excluded from the grid entirely: they neither appear as
+    neighbors nor relay.
+    """
+
+    name = "sparse"
+
+    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
+        super().__init__(world, dist_cache_size=dist_cache_size)
+        n = world.n
+        self._pos: np.ndarray = np.empty((n, 2))
+        self._down = np.zeros(n, dtype=bool)
+        self._cell: np.ndarray = np.zeros((n, 2), dtype=np.int64)
+        self._stride = 1
+        #: cell key -> np.ndarray of member node ids (up nodes only)
+        self._grid: Dict[int, np.ndarray] = {}
+        #: lazily-built CSR adjacency (indptr, indices) or None
+        self._csr: Tuple[np.ndarray, np.ndarray] | None = None
+        #: per-node neighbor memo for the current snapshot
+        self._nbr: Dict[int, np.ndarray] = {}
+        self._r2 = 0.0
+        #: CSR builds performed (observability: should be << rebuilds
+        #: for neighbor-only workloads)
+        self.csr_builds = 0
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
+        r = self.world.radio_range
+        self._pos = pos
+        self._down = down.copy()
+        self._r2 = r * r
+        cell = np.floor(pos / r).astype(np.int64)
+        # Shift so cell coords start at 1: neighbor offsets (±1) then
+        # never go negative and the row-major key below is collision-free.
+        cell -= cell.min(axis=0)
+        cell += 1
+        self._cell = cell
+        self._stride = int(cell[:, 1].max()) + 2
+        keys = cell[:, 0] * self._stride + cell[:, 1]
+        up = np.flatnonzero(~down)
+        order = up[np.argsort(keys[up], kind="stable")]
+        sorted_keys = keys[order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(starts, len(order))
+        self._grid = {
+            int(k): order[s:e] for k, s, e in zip(uniq, bounds[:-1], bounds[1:])
+        }
+        self._csr = None
+        self._nbr = {}
+
+    def _cell_block(self, cx: int, cy: int) -> np.ndarray:
+        """Candidate node ids in the 3x3 cell block around ``(cx, cy)``."""
+        chunks = []
+        for dx in (-1, 0, 1):
+            base = (cx + dx) * self._stride + cy
+            for dy in (-1, 0, 1):
+                members = self._grid.get(base + dy)
+                if members is not None:
+                    chunks.append(members)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # -- queries -------------------------------------------------------
+    def neighbors(self, i: int) -> np.ndarray:
+        self.refresh()
+        cached = self._nbr.get(i)
+        if cached is not None:
+            return cached
+        if self._down[i]:
+            result = np.empty(0, dtype=np.int64)
+        else:
+            cand = self._cell_block(int(self._cell[i, 0]), int(self._cell[i, 1]))
+            diff = self._pos[cand] - self._pos[i]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            result = np.sort(cand[(d2 <= self._r2) & (cand != i)])
+        self._nbr[i] = result
+        return result
+
+    def link(self, i: int, j: int) -> bool:
+        self.refresh()
+        if i == j or self._down[i] or self._down[j]:
+            return False
+        diff = self._pos[i] - self._pos[j]
+        return bool(diff[0] * diff[0] + diff[1] * diff[1] <= self._r2)
+
+    def degrees(self) -> np.ndarray:
+        indptr, _ = self._require_csr()
+        return np.diff(indptr)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        # Materialized on demand for analytics/tests; not a hot path.
+        indptr, indices = self._require_csr()
+        n = self.world.n
+        adj = np.zeros((n, n), dtype=bool)
+        rows = np.repeat(np.arange(n), np.diff(indptr))
+        adj[rows, indices] = True
+        return adj
+
+    # -- CSR adjacency -------------------------------------------------
+    def _require_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        self.refresh()
+        if self._csr is None:
+            self._csr = self._build_csr()
+            self.csr_builds += 1
+        return self._csr
+
+    def _build_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Intersect each occupied cell with its 3x3 block, vectorized."""
+        n = self.world.n
+        nbr_lists: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        empty = np.empty(0, dtype=np.int64)
+        for key, members in self._grid.items():
+            cx, cy = divmod(key, self._stride)
+            cand = self._cell_block(int(cx), int(cy))
+            diff = self._pos[members][:, None, :] - self._pos[cand][None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            in_range = d2 <= self._r2
+            for row, i in enumerate(members):
+                hits = cand[in_range[row]]
+                nbr_lists[i] = np.sort(hits[hits != i])
+        counts = np.array(
+            [0 if lst is None else len(lst) for lst in nbr_lists], dtype=np.int64
+        )
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        if int(indptr[-1]) == 0:
+            return indptr, empty
+        indices = np.concatenate([lst for lst in nbr_lists if lst is not None and len(lst)])
+        return indptr, indices
+
+    # -- BFS -----------------------------------------------------------
+    def _bfs(self, src: int) -> np.ndarray:
+        n = self.world.n
+        dist = np.full(n, UNREACHABLE, dtype=np.int32)
+        if self._down[src]:
+            return dist
+        indptr, indices = self._require_csr()
+        dist[src] = 0
+        frontier = np.array([src], dtype=np.int64)
+        d = 0
+        while frontier.size:
+            d += 1
+            chunks = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+            cand = np.unique(np.concatenate(chunks)) if chunks else np.empty(0, np.int64)
+            nxt = cand[dist[cand] == UNREACHABLE]
+            if not nxt.size:
+                break
+            dist[nxt] = d
+            frontier = nxt
+        return dist
+
+
+#: Registry of selectable backends (configuration strings).
+TOPOLOGY_BACKENDS: Dict[str, Type[TopologyBackend]] = {
+    DenseTopology.name: DenseTopology,
+    SparseGridTopology.name: SparseGridTopology,
+}
+
+
+def make_topology(
+    spec: Union[str, Type[TopologyBackend]],
+    world: "World",
+    *,
+    dist_cache_size: int = DEFAULT_DIST_CACHE,
+) -> TopologyBackend:
+    """Instantiate a backend from a config string or a backend class."""
+    if isinstance(spec, str):
+        try:
+            cls = TOPOLOGY_BACKENDS[spec]
+        except KeyError:
+            known = ", ".join(sorted(TOPOLOGY_BACKENDS))
+            raise ValueError(f"unknown topology backend {spec!r} (known: {known})") from None
+    elif isinstance(spec, type) and issubclass(spec, TopologyBackend):
+        cls = spec
+    else:
+        raise TypeError(f"topology must be a name or TopologyBackend class, got {spec!r}")
+    return cls(world, dist_cache_size=dist_cache_size)

@@ -3,33 +3,42 @@
 This module is the performance-critical substrate.  Every packet
 transmission asks "who is in range right now?", and the p2p layer asks
 "how many ad-hoc hops separate A and B?" for connection maintenance.
-Both are answered from numpy snapshots cached per unique simulation
-timestamp:
 
-* ``positions`` -- one vectorized mobility evaluation,
-* ``adjacency`` -- one O(n^2) vectorized pairwise-distance pass,
-* ``hop distances`` -- one BFS (vectorized frontier expansion over the
-  boolean adjacency matrix) per source per timestamp.
+:class:`World` owns the *state* -- positions (one vectorized mobility
+evaluation per timestamp), the churn/energy down mask, and the snapshot
+quantum -- and delegates every connectivity *query* to a pluggable
+:mod:`~repro.net.topology` backend:
 
-With the paper's n = 50..150 these are all sub-millisecond, and the
-caching means a broadcast storm touching every node reuses a single
-snapshot.
+* ``dense`` (default) -- the reference O(n²) adjacency matrix +
+  vectorized BFS; sub-millisecond at the paper's n = 50..150.
+* ``sparse`` -- a uniform-grid spatial index with lazily-built CSR
+  adjacency; O(n·k) at bounded density, which is what lets scenarios
+  scale to thousands of nodes (see ``benchmarks/test_micro_topology.py``).
+
+Consumers must go through the query interface (:meth:`World.link`,
+:meth:`World.neighbors`, :meth:`World.hops_from`, ...) rather than
+poking an adjacency matrix, so the backend stays swappable.
+:meth:`World.adjacency` survives for analytics and tests; the sparse
+backend materializes it on demand.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional, Type, Union
 
 import numpy as np
 
 from ..mobility.base import Area, MobilityModel
 from ..sim.kernel import Simulator
 from .energy import EnergyModel
+from .topology import (
+    DEFAULT_DIST_CACHE,
+    UNREACHABLE,
+    TopologyBackend,
+    make_topology,
+)
 
 __all__ = ["World", "UNREACHABLE"]
-
-#: Sentinel hop distance for disconnected pairs.
-UNREACHABLE = -1
 
 
 class World:
@@ -50,8 +59,14 @@ class World:
         recomputed; younger ones are reused.  0 (default) means exact
         per-timestamp snapshots.  At the paper's <= 1 m/s speeds a
         0.25 s quantum moves a node <= 0.25 m (2.5 % of the radio
-        range), a negligible error that removes the O(n^2) recompute
+        range), a negligible error that removes the snapshot recompute
         from event-burst hot paths.
+    topology:
+        Connectivity backend: ``"dense"`` (reference, default),
+        ``"sparse"`` (grid-indexed, for large n), or a
+        :class:`~repro.net.topology.TopologyBackend` subclass.
+    dist_cache_size:
+        LRU bound on memoized per-source hop-distance vectors.
     """
 
     def __init__(
@@ -62,6 +77,8 @@ class World:
         radio_range: float = 10.0,
         energy: Optional[EnergyModel] = None,
         snapshot_interval: float = 0.0,
+        topology: Union[str, Type[TopologyBackend]] = "dense",
+        dist_cache_size: int = DEFAULT_DIST_CACHE,
     ) -> None:
         if radio_range <= 0:
             raise ValueError(f"radio_range must be positive, got {radio_range}")
@@ -77,15 +94,15 @@ class World:
             raise ValueError(
                 f"energy model sized for {self.energy.n} nodes, world has {self.n}"
             )
-        # Per-timestamp caches.
+        # Per-timestamp position cache.
         self._pos_time = -1.0
         self._pos: np.ndarray = np.empty((self.n, 2))
-        self._adj_time = -1.0
-        self._adj: np.ndarray = np.zeros((self.n, self.n), dtype=bool)
-        self._bfs_time = -1.0
-        self._bfs: Dict[int, np.ndarray] = {}
         #: nodes administratively removed (churn experiments)
         self._down = np.zeros(self.n, dtype=bool)
+        #: the pluggable connectivity backend
+        self.topology: TopologyBackend = make_topology(
+            topology, self, dist_cache_size=dist_cache_size
+        )
 
     # ------------------------------------------------------------------
     # snapshots
@@ -98,75 +115,57 @@ class World:
             self._pos_time = t
         return self._pos
 
+    def down_mask(self) -> np.ndarray:
+        """Boolean (n,) mask of administratively-down nodes (read-only)."""
+        return self._down
+
+    def invalidate(self) -> None:
+        """Force the topology backend to recompute on the next query."""
+        self.topology.invalidate()
+
+    # ------------------------------------------------------------------
+    # connectivity queries (delegated to the backend)
+    # ------------------------------------------------------------------
     def adjacency(self) -> np.ndarray:
-        """Boolean (n,n) in-range matrix at the current time (cached).
+        """Boolean (n,n) in-range matrix at the current time.
 
         ``adj[i, j]`` is True iff ``i != j``, both nodes are up, and
-        their distance is <= the radio range.
+        their distance is <= the radio range.  Analytics/debugging
+        surface: the sparse backend materializes this on demand, so hot
+        paths must use :meth:`link` / :meth:`neighbors` instead.
         """
-        t = self.sim.now
-        stale = (
-            self._adj_time < 0.0
-            or t < self._adj_time
-            or (t - self._adj_time) > self.snapshot_interval
-        )
-        if stale:
-            pos = self.positions()
-            diff = pos[:, None, :] - pos[None, :, :]
-            d2 = np.einsum("ijk,ijk->ij", diff, diff)
-            adj = d2 <= self.radio_range**2
-            np.fill_diagonal(adj, False)
-            if self._down.any():
-                adj[self._down, :] = False
-                adj[:, self._down] = False
-            self._adj = adj
-            self._adj_time = t
-            self._bfs.clear()
-            self._bfs_time = t
-        return self._adj
+        return self.topology.adjacency_matrix()
+
+    def link(self, i: int, j: int) -> bool:
+        """Whether a radio link ``i``--``j`` exists right now."""
+        return self.topology.link(i, j)
 
     def neighbors(self, i: int) -> np.ndarray:
-        """Node ids within radio range of ``i`` right now."""
-        return np.flatnonzero(self.adjacency()[i])
+        """Node ids within radio range of ``i`` right now (ascending)."""
+        return self.topology.neighbors(i)
 
-    # ------------------------------------------------------------------
-    # hop distances (BFS on the snapshot)
-    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """(n,) radio degree of every node right now."""
+        return self.topology.degrees()
+
+    def link_count(self) -> int:
+        """Number of undirected radio links right now."""
+        return self.topology.link_count()
+
     def hops_from(self, src: int) -> np.ndarray:
         """Ad-hoc hop distance from ``src`` to every node (cached BFS).
 
         Returns an int array; unreachable nodes get :data:`UNREACHABLE`.
         """
-        adj = self.adjacency()  # refreshes/clears the BFS cache if stale
-        cached = self._bfs.get(src)
-        if cached is not None:
-            return cached
-        dist = np.full(self.n, UNREACHABLE, dtype=np.int32)
-        if not self._down[src]:
-            dist[src] = 0
-            frontier = np.zeros(self.n, dtype=bool)
-            frontier[src] = True
-            visited = frontier.copy()
-            d = 0
-            while frontier.any():
-                d += 1
-                # all nodes adjacent to the frontier, not yet visited
-                nxt = adj[frontier].any(axis=0) & ~visited
-                if not nxt.any():
-                    break
-                dist[nxt] = d
-                visited |= nxt
-                frontier = nxt
-        self._bfs[src] = dist
-        return dist
+        return self.topology.hops_from(src)
 
     def hop_distance(self, a: int, b: int) -> int:
         """Hops between ``a`` and ``b`` now; UNREACHABLE if disconnected."""
-        return int(self.hops_from(a)[b])
+        return self.topology.hop_distance(a, b)
 
     def reachable(self, a: int, b: int) -> bool:
         """Whether a multi-hop path currently exists between the nodes."""
-        return self.hop_distance(a, b) != UNREACHABLE
+        return self.topology.reachable(a, b)
 
     # ------------------------------------------------------------------
     # churn / energy
@@ -178,7 +177,7 @@ class World:
     def set_down(self, i: int, down: bool = True) -> None:
         """Administratively kill (or revive) a node; invalidates caches."""
         self._down[i] = down
-        self._adj_time = -1.0  # force recompute
+        self.topology.invalidate()
 
     def check_depletion(self) -> None:
         """Mark energy-depleted nodes as down (call after charging)."""
@@ -188,4 +187,7 @@ class World:
                 self.set_down(int(i))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<World n={self.n} range={self.radio_range} t={self.sim.now:.1f}>"
+        return (
+            f"<World n={self.n} range={self.radio_range} "
+            f"topology={self.topology.name} t={self.sim.now:.1f}>"
+        )

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..net.world import UNREACHABLE, World
+from ..net.topology import UNREACHABLE
+from ..net.world import World
 from ..sim.kernel import Simulator
 from .base import Router
 

@@ -27,6 +27,10 @@ _MOBILITY_MODELS = (
 )
 _ROUTINGS = ("aodv", "dsdv", "dsr", "oracle")
 _ALGORITHMS = ("basic", "regular", "random", "hybrid")
+_TOPOLOGIES = ("dense", "sparse", "auto")
+
+#: "auto" topology switches to the sparse grid backend at this node count.
+AUTO_SPARSE_THRESHOLD = 400
 
 
 @dataclass(frozen=True)
@@ -67,6 +71,10 @@ class ScenarioConfig:
     #: paper's <= 1 m/s this trades <= 0.25 m of position accuracy for a
     #: large event-burst speedup
     snapshot_interval: float = 0.25
+    #: physical-topology backend: "dense" (reference O(n^2) matrix),
+    #: "sparse" (uniform-grid spatial index, for large n) or "auto"
+    #: (sparse once num_nodes >= AUTO_SPARSE_THRESHOLD)
+    topology: str = "dense"
     #: whether the query plane runs (off for pure-reconfiguration studies)
     queries: bool = True
 
@@ -86,10 +94,19 @@ class ScenarioConfig:
             raise ValueError(f"unknown mac {self.mac!r}")
         if self.mobility not in _MOBILITY_MODELS:
             raise ValueError(f"unknown mobility model {self.mobility!r}")
+        if self.topology not in _TOPOLOGIES:
+            raise ValueError(f"unknown topology backend {self.topology!r}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
 
     # ------------------------------------------------------------------
+    @property
+    def resolved_topology(self) -> str:
+        """The concrete backend name ("auto" resolved by node count)."""
+        if self.topology == "auto":
+            return "sparse" if self.num_nodes >= AUTO_SPARSE_THRESHOLD else "dense"
+        return self.topology
+
     @property
     def num_members(self) -> int:
         """How many nodes join the overlay (75 % of 50 -> 37)."""

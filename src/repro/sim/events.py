@@ -53,6 +53,10 @@ class Event:
     cancelled:
         Cooperative cancellation flag.  Cancelled events stay on the heap
         but are skipped when popped (lazy deletion -- O(1) cancel).
+    owner:
+        The scheduler that queued this event, if any.  Cancellation
+        notifies it so it can track dead weight on the heap and compact
+        when lazily-cancelled entries dominate.
     """
 
     time: float
@@ -61,10 +65,15 @@ class Event:
     fn: Callable[..., Any]
     args: tuple = field(default=())
     cancelled: bool = False
+    owner: Any = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark this event so the kernel skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancel()
 
     # heapq compares items directly; define ordering on the sort key only.
     def __lt__(self, other: "Event") -> bool:

@@ -10,7 +10,10 @@ Design notes
 ------------
 * Cancellation is lazy (events carry a ``cancelled`` flag and are skipped
   when popped) so cancelling the thousands of ping timeouts a p2p run
-  creates is O(1) each.
+  creates is O(1) each.  To keep lazy cancellation from bloating the
+  heap on long runs, the kernel counts dead entries and *compacts* (one
+  O(live) filter + heapify) whenever cancelled events outnumber live
+  ones; ``events_skipped`` and ``heap_compactions`` expose the cost.
 * The kernel never advances past ``run(until=...)``; events beyond the
   horizon stay queued, which lets callers resume the same simulation
   (``run`` may be called repeatedly with increasing horizons).
@@ -26,6 +29,10 @@ from typing import Any, Callable, Iterator, Optional
 from .events import Event, Priority
 
 __all__ = ["Simulator", "SimulationError"]
+
+#: Below this queue length compaction is pointless (heapify overhead
+#: would dominate); lazy skipping on pop handles small queues fine.
+MIN_COMPACT_SIZE = 64
 
 
 class SimulationError(RuntimeError):
@@ -61,8 +68,13 @@ class Simulator:
         self._stopped = False
         #: number of events actually dispatched (skips excluded)
         self.events_dispatched = 0
-        #: number of cancelled events skipped on pop
+        #: number of cancelled events removed (skipped on pop or purged
+        #: by a heap compaction)
         self.events_skipped = 0
+        #: number of heap compactions performed
+        self.heap_compactions = 0
+        #: cancelled events currently sitting on the heap
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -103,10 +115,44 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock is already at {self._now!r}"
             )
-        ev = Event(time=float(time), priority=int(priority), seq=self._seq, fn=fn, args=args)
+        ev = Event(
+            time=float(time),
+            priority=int(priority),
+            seq=self._seq,
+            fn=fn,
+            args=args,
+            owner=self,
+        )
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    # ------------------------------------------------------------------
+    # lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when dead weight wins."""
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= MIN_COMPACT_SIZE
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop all cancelled events from the heap in one pass.
+
+        O(n) filter + heapify; called automatically once cancelled
+        entries exceed half the queue, and safe to call by hand.
+        """
+        live = [ev for ev in self._heap if not ev.cancelled]
+        purged = len(self._heap) - len(live)
+        if purged:
+            heapq.heapify(live)
+            self._heap = live
+            self.events_skipped += purged
+            self.heap_compactions += 1
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -121,6 +167,8 @@ class Simulator:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 self.events_skipped += 1
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
                 continue
             self._now = ev.time
             self.events_dispatched += 1
@@ -133,6 +181,8 @@ class Simulator:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
             self.events_skipped += 1
+            if self._cancelled_pending:
+                self._cancelled_pending -= 1
         return self._heap[0].time if self._heap else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

@@ -96,6 +96,24 @@ class TestDedup:
         mgrs[1].reset_cache()
         assert mgrs[1].cache_size == 0
 
+    def test_seen_cache_bounded_fifo(self):
+        # Long runs must not grow the dedup cache without limit: the
+        # oldest ids are evicted first and cache_size stays accurate.
+        sim, world, ch = make_world(line_positions(2, spacing=8.0))
+        mgr = FloodManager(ch.nodes[0], ch, "bounded", seen_limit=5)
+        for _ in range(12):
+            mgr.originate("x", nhops=1)
+        sim.run()
+        assert mgr.cache_size == 5
+        assert mgr.evictions == 7
+        # survivors are the 5 most recent ids
+        assert list(mgr._seen) == [(0, s) for s in range(7, 12)]
+
+    def test_seen_limit_validated(self):
+        _, _, ch = make_world(line_positions(2, spacing=8.0))
+        with pytest.raises(ValueError):
+            FloodManager(ch.nodes[0], ch, "bad", seen_limit=0)
+
 
 class TestMultiplePlanes:
     def test_independent_kinds_do_not_interfere(self):

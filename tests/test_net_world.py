@@ -114,18 +114,18 @@ class TestCaching:
         sim.run()
         a1 = world.adjacency()
         assert a0.shape == a1.shape  # and no exception: cache rebuilt
-        assert world._adj_time == 500.0
+        assert world.topology.snapshot_time == 500.0
 
     def test_bfs_cache_cleared_on_time_change(self):
         sim = Simulator()
         mob = RandomWaypoint(8, Area(30, 30), np.random.default_rng(1), max_pause=0.5)
         world = World(sim, mob, radio_range=8)
         world.hops_from(0)
-        assert 0 in world._bfs
+        assert 0 in world.topology._dist
         sim.schedule(200.0, lambda: None)
         sim.run()
         world.adjacency()
-        assert 0 not in world._bfs
+        assert 0 not in world.topology._dist
 
 
 class TestChurn:

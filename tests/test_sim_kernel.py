@@ -107,6 +107,36 @@ class TestCancellation:
         ev.cancel()
         assert sim.pending() == 1
 
+    def test_heap_compacts_when_cancelled_dominate(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(200)]
+        for ev in events[:150]:
+            ev.cancel()
+        # cancelled entries exceeded half the queue -> compacted away
+        assert sim.heap_compactions >= 1
+        assert len(sim._heap) < 200
+        assert sim.pending() == 50
+        sim.run()
+        assert sim.events_dispatched == 50
+        assert sim.events_skipped == 150  # skipped-on-pop + purged
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim._cancelled_pending == 1
+        sim.run()
+        assert sim.events_skipped == 1
+
+    def test_manual_compact_noop_when_clean(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.compact()
+        assert sim.heap_compactions == 0
+        assert sim.pending() == 1
+
 
 class TestRunControl:
     def test_until_inclusive(self):
