@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Validate a run JSON (stdin or file args) against the run schema.
+
+CI smoke usage::
+
+    p2p-manet run --nodes 50 --duration 60 --json | python scripts/validate_run_schema.py
+
+Exits non-zero with the offending path on the first schema violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    from repro.obs.schema import SchemaError, validate_run_dict
+
+    sources = argv[1:] if len(argv) > 1 else ["-"]
+    for src in sources:
+        label = "stdin" if src == "-" else src
+        try:
+            if src == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(src) as fh:
+                    payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{label}: cannot read JSON: {exc}", file=sys.stderr)
+            return 2
+        try:
+            validate_run_dict(payload)
+        except SchemaError as exc:
+            print(f"{label}: schema violation: {exc}", file=sys.stderr)
+            return 1
+        print(f"{label}: valid run dict (schema v{payload['schema_version']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,7 @@ Run a single scenario and dump its summary::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .experiments import (
@@ -72,34 +73,47 @@ def _cmd_tables(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI sweep parameter -> ScenarioConfig field
+_SWEEP_FIELDS = {
+    "nodes": "num_nodes",
+    "algorithm": "algorithm",
+    "mobility": "mobility",
+    "routing": "routing",
+}
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import SweepSpec, run_sweep
+
+    fieldname = _SWEEP_FIELDS[args.parameter]
+    values = tuple(
+        int(v) if args.parameter == "nodes" else v for v in args.values
+    )
+    base = ScenarioConfig(
+        duration=args.duration, seed=args.seed, topology=args.topology
+    )
+    store = None
+    if args.store:
+        from .experiments import ResultStore
+
+        store = ResultStore(args.store)
+    points = run_sweep(
+        base, [SweepSpec(fieldname, values)], reps=args.reps, store=store
+    )
+    if args.json:
+        print(json.dumps([p.to_dict() for p in points], indent=2))
+        return 0
     rows = []
-    for value in args.values:
-        overrides = {
-            "duration": args.duration,
-            "seed": args.seed,
-            "topology": args.topology,
-        }
-        if args.parameter == "nodes":
-            overrides["num_nodes"] = int(value)
-        elif args.parameter == "algorithm":
-            overrides["algorithm"] = value
-        elif args.parameter == "mobility":
-            overrides["mobility"] = value
-        else:
-            overrides["routing"] = value
-        res = run_scenario(ScenarioConfig(**overrides))
-        answered = sum(s.answered for s in res.file_stats)
-        total = sum(s.queries for s in res.file_stats)
+    for value, p in zip(args.values, points):
         rows.append(
             [
                 str(value),
-                str(res.totals["connect"]),
-                str(res.totals["ping"]),
-                str(res.totals["query"]),
-                f"{res.overlay_stats['mean_degree']:.2f}",
-                f"{answered / total:.2f}" if total else "-",
-                f"{res.energy.sum():.3f}",
+                f"{p.totals['connect']:g}",
+                f"{p.totals['ping']:g}",
+                f"{p.totals['query']:g}",
+                f"{p.mean_degree:.2f}",
+                f"{p.answer_rate:.2f}",
+                f"{p.energy:.3f}",
             ]
         )
     print(
@@ -152,6 +166,23 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_run_stats(res) -> str:
+    """Wall-clock breakdown + counter table, registry-sourced."""
+    lines = ["wall-clock breakdown:"]
+    lines.append(f"  {'section':<28} {'seconds':>10} {'calls':>8}")
+    for section, (seconds, calls) in sorted(
+        res.wall.items(), key=lambda kv: -kv[1][0]
+    ):
+        lines.append(f"  {section:<28} {seconds:>10.4f} {calls:>8}")
+    lines.append("")
+    lines.append("counters (per-node labels folded):")
+    lines.append(f"  {'metric':<44} {'value':>12}")
+    for key, value in sorted(res.counters.items()):
+        shown = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key:<44} {shown:>12}")
+    return "\n".join(lines)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = ScenarioConfig(
         num_nodes=args.nodes,
@@ -160,8 +191,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         routing=args.routing,
         seed=args.seed,
         topology=args.topology,
+        obs_interval=args.obs_interval,
     )
     res = run_scenario(cfg)
+    if args.store:
+        from .experiments import ResultStore
+
+        ResultStore(args.store).append_run(res, source="cli.run")
     if args.json:
         print(run_result_to_json(res))
         return 0
@@ -174,6 +210,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
         + ", ".join(f"{k}={v:.3f}" for k, v in res.overlay_stats.items())
     )
     print(f"energy consumed:  {res.energy.sum():.4f} J")
+    if args.stats:
+        print()
+        print(_render_run_stats(res))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print one archived run from a ResultStore path."""
+    from .experiments import ResultStore
+    from .scenarios.runner import RunResult
+
+    store = ResultStore(args.store)
+    records = store.load(kind="run")
+    if not records:
+        print(f"no archived runs in {args.store}", file=sys.stderr)
+        return 1
+    try:
+        record = records[args.index]
+    except IndexError:
+        print(
+            f"run index {args.index} out of range ({len(records)} archived)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = record["payload"]
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    res = RunResult.from_dict(payload)
+    cfg = res.config
+    print(
+        f"run: {cfg.algorithm}, {cfg.num_nodes} nodes, {cfg.duration:g}s "
+        f"(seed {cfg.seed}, routing {cfg.routing})"
+    )
+    if res.manifest is not None:
+        m = res.manifest
+        rev = (m.git_rev or "unknown")[:12]
+        print(
+            f"provenance: config {m.config_sha256[:12]}, rev {rev}, "
+            f"python {m.python}, wall {m.wall_seconds:.2f}s"
+        )
+    print(f"events dispatched: {res.events}")
+    print(f"received totals:  {res.totals}")
+    print(f"queries issued:   {res.num_queries}")
+    print(f"energy consumed:  {res.energy.sum():.4f} J")
+    if res.timeseries:
+        print(f"timeseries rows:  {len(res.timeseries)}")
+    if res.wall or res.counters:
+        print()
+        print(_render_run_stats(res))
     return 0
 
 
@@ -234,6 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     _add_topology_arg(run)
     run.add_argument("--json", action="store_true", help="emit the full RunResult as JSON")
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the wall-clock breakdown and registry counter table",
+    )
+    run.add_argument(
+        "--obs-interval",
+        type=float,
+        default=0.0,
+        help="sample the metrics registry every N sim-seconds (0: off)",
+    )
+    run.add_argument("--store", default=None, help="append the run to this ResultStore")
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -245,8 +343,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("values", nargs="+", help="values to sweep over")
     sweep.add_argument("--duration", type=float, default=300.0)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--reps", type=int, default=1, help="repetitions per point")
     _add_topology_arg(sweep)
+    sweep.add_argument("--json", action="store_true", help="emit point results as JSON")
+    sweep.add_argument(
+        "--store", default=None, help="append point results to this ResultStore"
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print an archived run from a ResultStore file"
+    )
+    stats.add_argument("store", help="path to a ResultStore ndjson archive")
+    stats.add_argument(
+        "--index",
+        type=int,
+        default=-1,
+        help="which archived run (insertion order; default: latest)",
+    )
+    stats.add_argument("--json", action="store_true", help="dump the raw payload")
+    stats.set_defaults(func=_cmd_stats)
 
     rep = sub.add_parser(
         "reproduce", help="run the whole evaluation, write artifacts to a directory"

@@ -63,6 +63,11 @@ class ReconfigAlgorithm(abc.ABC):
         # initiator-side: peers whose ping is awaiting a pong, with the
         # time the ping went out
         self._await_pong: dict[int, float] = {}
+        labels = {"alg": self.name, "node": servent.nid}
+        registry = servent.registry
+        self._c_pings = registry.counter("alg.pings_sent", **labels)
+        self._c_established = registry.counter("alg.connections_established", **labels)
+        self._c_closed = registry.counter("alg.connections_closed", **labels)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -134,6 +139,7 @@ class ReconfigAlgorithm(abc.ABC):
                 self.close_connection(peer)
                 return
         self._await_pong[peer] = now
+        self._c_pings.value += 1
         self.servent.send(peer, Ping(sender=self.servent.nid))
         self.servent.sim.schedule(self.cfg.pong_timeout, self._pong_deadline, peer, now)
 
@@ -170,6 +176,7 @@ class ReconfigAlgorithm(abc.ABC):
         conn = self.servent.connections.remove(peer)
         self._await_pong.pop(peer, None)
         if conn is not None:
+            self._c_closed.value += 1
             if self.servent.lifetime_log is not None:
                 self.servent.lifetime_log.record(
                     self.servent.nid, conn, self.servent.sim.now
@@ -180,4 +187,20 @@ class ReconfigAlgorithm(abc.ABC):
         """Install a connection (stamped with the current time)."""
         conn.established_at = self.servent.sim.now
         conn.last_seen = conn.established_at
-        return self.servent.connections.add(conn)
+        added = self.servent.connections.add(conn)
+        if added:
+            self._c_established.value += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "connections": self.servent.connections.count,
+            "pings_sent": self._c_pings.value,
+            "connections_established": self._c_established.value,
+            "connections_closed": self._c_closed.value,
+            "awaiting_pong": len(self._await_pong),
+        }

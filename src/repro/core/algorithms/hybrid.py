@@ -103,6 +103,13 @@ class HybridAlgorithm(RegularAlgorithm):
         """Tie the qualifier to the node's remaining battery fraction."""
         self._energy_qualifier = bool(enabled)
 
+    def stats(self) -> dict:
+        """Base counters plus master/slave structure."""
+        out = super().stats()
+        out["state"] = self.state.name.lower()
+        out["slaves"] = self.slaves.count
+        return out
+
     def _beats(self, other_q: float, other_id: int) -> bool:
         """True if this peer outranks (qualifier, id) -- it can be master."""
         return (self.qualifier, self.servent.nid) > (other_q, other_id)

@@ -18,6 +18,7 @@ import numpy as np
 from ..net.broadcast import FloodManager
 from ..net.radio import Channel
 from ..net.world import World
+from ..obs.registry import Registry
 from ..routing.base import Router
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
@@ -56,6 +57,9 @@ class OverlayNetwork:
         Hybrid only: node id -> qualifier.  Defaults to U(0, 1) draws.
     count_received:
         Metrics hook ``(nid, family)`` shared by all servents.
+    registry:
+        Observability registry shared by the flood planes and servents;
+        defaults to the channel's registry.
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class OverlayNetwork:
         qualifiers: Optional[Dict[int, float]] = None,
         count_received: Optional[Callable[[int, str], None]] = None,
         lifetime_log=None,
+        registry: Optional[Registry] = None,
     ) -> None:
         self.sim = sim
         self.world = world
@@ -90,9 +95,14 @@ class OverlayNetwork:
         if max(self.members) >= world.n or min(self.members) < 0:
             raise ValueError("member ids must be valid node ids")
 
+        if registry is None:
+            registry = getattr(channel, "registry", None)
+        self.registry = registry if registry is not None else Registry()
+
         # Flood plane on every node; non-members forward but don't listen.
         self.floods: List[FloodManager] = [
-            FloodManager(node, channel, FLOOD_KIND) for node in channel.nodes
+            FloodManager(node, channel, FLOOD_KIND, registry=self.registry)
+            for node in channel.nodes
         ]
 
         holdings = place_files(
@@ -119,6 +129,7 @@ class OverlayNetwork:
                 rng=self.rng.stream(f"p2p.node.{m}"),
                 count_received=count_received,
                 lifetime_log=lifetime_log,
+                registry=self.registry,
             )
             alg = make_algorithm(
                 algorithm,
@@ -175,6 +186,20 @@ class OverlayNetwork:
     def connection_counts(self) -> Dict[int, int]:
         """Member -> current number of references held."""
         return {m: s.connections.count for m, s in self.servents.items()}
+
+    def open_connections(self) -> int:
+        """Total references currently held across all members."""
+        return sum(s.connections.count for s in self.servents.values())
+
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "members": len(self.members),
+            "open_connections": self.open_connections(),
+            "flood_originated": sum(f._c_originated.value for f in self.floods),
+            "flood_forwarded": sum(f._c_forwarded.value for f in self.floods),
+            "flood_duplicates": sum(f._c_duplicates.value for f in self.floods),
+        }
 
     def query_records(self):
         """All finished QueryRecords across members (metrics harvest)."""

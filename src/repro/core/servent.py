@@ -13,13 +13,14 @@ received-message counters the paper's Figures 7-12 are built from.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
 from ..net.broadcast import FloodManager
 from ..net.topology import UNREACHABLE
 from ..net.world import World
+from ..obs.registry import Registry
 from ..routing.base import Router
 from ..sim.kernel import Simulator
 from .config import P2pConfig
@@ -59,6 +60,9 @@ class Servent:
     count_received:
         Metrics hook ``count_received(nid, family)`` fired for every
         p2p message copy this node receives.
+    registry:
+        Observability registry; defaults to the flood manager's (and
+        hence the whole simulation's) registry.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class Servent:
         rng: np.random.Generator,
         count_received: Optional[Callable[[int, str], None]] = None,
         lifetime_log=None,
+        registry: Optional[Registry] = None,
     ) -> None:
         self.nid = nid
         self.sim = sim
@@ -92,6 +97,12 @@ class Servent:
         self.connections = ConnectionTable(nid, config.max_connections)
         self.query_engine = QueryEngine(self, query_config, rng)
         self.algorithm: Optional["ReconfigAlgorithm"] = None
+        if registry is None:
+            registry = getattr(flood, "registry", None)
+        self.registry = registry if registry is not None else Registry()
+        self._h_flood_hops = self.registry.histogram(
+            "p2p.flood_hops", node=nid
+        )
         # Wire the flood plane into this servent.
         flood.deliver = self._on_flood
         flood.count_duplicate = self._on_flood_duplicate
@@ -153,6 +164,7 @@ class Servent:
         if origin == self.nid:
             return
         self._count(msg.FAMILY)
+        self._h_flood_hops.observe(hops)
         self.algorithm.on_discovery(origin, msg, hops)
 
     def _on_flood_duplicate(self, origin: int, msg: P2pMessage) -> None:
@@ -176,6 +188,18 @@ class Servent:
         """Ground-truth ad-hoc hop distance to ``peer`` (metrics only)."""
         d = self.world.hop_distance(self.nid, peer)
         return d if d != UNREACHABLE else -1
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "connections": self.connections.count,
+            "flood_deliveries": self._h_flood_hops.count,
+            "flood_hops_mean": self._h_flood_hops.mean,
+            "queries_finished": len(self.query_engine.records),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         alg = self.algorithm.name if self.algorithm else "-"

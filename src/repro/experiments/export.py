@@ -43,34 +43,12 @@ def _plain(value: Any) -> Any:
 
 
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """A RunResult as a JSON-ready dict."""
-    return _plain(
-        {
-            "algorithm": result.config.algorithm,
-            "num_nodes": result.config.num_nodes,
-            "duration": result.config.duration,
-            "seed": result.config.seed,
-            "routing": result.config.routing,
-            "members": result.members,
-            "totals": result.totals,
-            "sorted_received": {k: v for k, v in result.sorted_received.items()},
-            "file_stats": [
-                {
-                    "file_id": s.file_id,
-                    "queries": s.queries,
-                    "answered": s.answered,
-                    "avg_answers": s.avg_answers,
-                    "avg_min_p2p_hops": s.avg_min_p2p_hops,
-                    "avg_min_adhoc_hops": s.avg_min_adhoc_hops,
-                }
-                for s in result.file_stats
-            ],
-            "overlay_stats": result.overlay_stats,
-            "energy_total": float(result.energy.sum()),
-            "num_queries": result.num_queries,
-            "events": result.events,
-        }
-    )
+    """A RunResult as a JSON-ready dict (versioned schema v1).
+
+    Thin alias over :meth:`RunResult.to_dict`; everything that archives
+    or exports runs goes through the one schema.
+    """
+    return result.to_dict()
 
 
 def run_result_to_json(result: RunResult, indent: int = 2) -> str:

@@ -14,6 +14,7 @@ import os
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from ..obs.schema import validate_run_dict
 from ..scenarios.runner import RunResult
 from .export import figure_result_to_dict, run_result_to_dict
 from .figures import FigureResult
@@ -56,8 +57,10 @@ class ResultStore:
         return record
 
     def append_run(self, result: RunResult, **tags: Any) -> Dict[str, Any]:
-        """Archive a scenario run."""
-        return self.append("run", run_result_to_dict(result), **tags)
+        """Archive a scenario run (validated against the run schema)."""
+        payload = run_result_to_dict(result)
+        validate_run_dict(payload)
+        return self.append("run", payload, **tags)
 
     def append_figure(self, result: FigureResult, **tags: Any) -> Dict[str, Any]:
         """Archive a reproduced figure."""
@@ -94,6 +97,13 @@ class ResultStore:
     def load(self, **kwargs) -> List[Dict[str, Any]]:
         """Materialized :meth:`records`."""
         return list(self.records(**kwargs))
+
+    def load_runs(self, **kwargs) -> List[RunResult]:
+        """Archived runs rehydrated as :class:`RunResult` objects."""
+        return [
+            RunResult.from_dict(r["payload"])
+            for r in self.records(kind="run", **kwargs)
+        ]
 
     def __len__(self) -> int:
         return sum(1 for _ in self.records())

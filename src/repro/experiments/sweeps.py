@@ -60,6 +60,18 @@ class SweepPointResult:
     #: mean kernel events (cost proxy)
     events: float
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (archival / ``sweep --json``)."""
+        return {
+            "point": dict(self.point),
+            "reps": int(self.reps),
+            "totals": {k: float(v) for k, v in self.totals.items()},
+            "mean_degree": float(self.mean_degree),
+            "answer_rate": float(self.answer_rate),
+            "energy": float(self.energy),
+            "events": float(self.events),
+        }
+
 
 def sweep_grid(specs: Sequence[SweepSpec]) -> List[Dict[str, Any]]:
     """The cartesian product of all specs as config-override dicts."""
@@ -101,6 +113,7 @@ def run_sweep(
     *,
     reps: int = 1,
     processes: Optional[int] = None,
+    store=None,
 ) -> List[SweepPointResult]:
     """Run the grid defined by ``specs`` on top of ``base``.
 
@@ -116,6 +129,10 @@ def run_sweep(
         If given and > 1, distribute points over worker processes; each
         point is an independent, deterministic simulation so results are
         identical to the serial run.
+    store:
+        Optional :class:`~repro.experiments.storage.ResultStore`; each
+        point result is appended as a ``sweep_point`` record (from the
+        coordinating process -- workers never write).
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
@@ -123,5 +140,10 @@ def run_sweep(
     jobs = [(base, overrides, reps) for overrides in grid]
     if processes is not None and processes > 1:
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            return list(pool.map(_run_point, jobs))
-    return [_run_point(job) for job in jobs]
+            results = list(pool.map(_run_point, jobs))
+    else:
+        results = [_run_point(job) for job in jobs]
+    if store is not None:
+        for point in results:
+            store.append("sweep_point", point.to_dict(), reps=reps)
+    return results

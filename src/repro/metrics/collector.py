@@ -32,7 +32,14 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------
     def count_received(self, nid: int, family: str) -> None:
-        """Record one received message (unknown families fold to other)."""
+        """Record one received message (unknown families fold to other).
+
+        ``nid`` must be a valid node id; numpy would silently wrap a
+        negative index onto another node's counter, so the range is
+        checked explicitly.
+        """
+        if not 0 <= nid < self.n:
+            raise IndexError(f"node id {nid} out of range [0, {self.n})")
         counts = self.received.get(family)
         if counts is None:
             counts = self.received["other"]
@@ -51,6 +58,10 @@ class MetricsCollector:
     def total(self, family: str) -> int:
         """Network-wide received count for ``family``."""
         return int(self.received[family].sum())
+
+    def stats(self) -> Dict[str, int]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {fam: self.total(fam) for fam in FAMILIES}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         totals = {fam: self.total(fam) for fam in FAMILIES}

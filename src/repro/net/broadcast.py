@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..obs.registry import Registry
 from .packet import DEFAULT_FRAME_BYTES, Frame
 from .radio import Channel, NetNode
 
@@ -83,6 +84,11 @@ class FloodManager:
         Bound on the dedup cache: the oldest flood ids are evicted FIFO
         once more than this many are remembered, so long runs hold
         O(active floods) ids instead of growing without limit.
+    registry:
+        Observability registry; counters are labeled
+        ``plane=<kind>, node=<nid>``.  Defaults to the channel's
+        registry, so a whole simulation's flood planes aggregate in one
+        place.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class FloodManager:
         count_duplicate: Optional[Callable[[int, Any], None]] = None,
         *,
         seen_limit: int = DEFAULT_SEEN_LIMIT,
+        registry: Optional[Registry] = None,
     ) -> None:
         if seen_limit < 1:
             raise ValueError(f"seen_limit must be >= 1, got {seen_limit}")
@@ -106,15 +113,39 @@ class FloodManager:
         self._seq = 0
         # FIFO dedup cache: insertion-ordered ids, oldest evicted first.
         self._seen: "OrderedDict[FloodId, None]" = OrderedDict()
-        #: ids evicted because the cache hit its bound (observability)
-        self.evictions = 0
+        if registry is None:
+            registry = getattr(channel, "registry", None)
+        self.registry = registry if registry is not None else Registry()
+        labels = {"plane": kind, "node": node.nid}
+        self._c_evictions = self.registry.counter("flood.evictions", **labels)
+        self._c_originated = self.registry.counter("flood.originated", **labels)
+        self._c_forwarded = self.registry.counter("flood.forwarded", **labels)
+        self._c_duplicates = self.registry.counter("flood.duplicates", **labels)
         node.register(kind, self._on_frame)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def evictions(self) -> int:
+        """Dedup-cache evictions (deprecated view of ``flood.evictions``)."""
+        return self._c_evictions.value
+
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "evictions": self._c_evictions.value,
+            "originated": self._c_originated.value,
+            "forwarded": self._c_forwarded.value,
+            "duplicates": self._c_duplicates.value,
+            "cache_size": len(self._seen),
+        }
 
     def _remember(self, fid: FloodId) -> None:
         self._seen[fid] = None
         if len(self._seen) > self.seen_limit:
             self._seen.popitem(last=False)
-            self.evictions += 1
+            self._c_evictions.value += 1
 
     # ------------------------------------------------------------------
     def originate(self, payload: Any, nhops: int, size: int = DEFAULT_FRAME_BYTES) -> FloodId:
@@ -127,6 +158,7 @@ class FloodManager:
             raise ValueError(f"nhops must be >= 1, got {nhops}")
         fid = (self.node.nid, self._seq)
         self._seq += 1
+        self._c_originated.value += 1
         self._remember(fid)  # the origin never re-forwards its own flood
         msg = FloodMessage(fid=fid, origin=self.node.nid, hops=0, budget=int(nhops), payload=payload)
         self.channel.broadcast(
@@ -138,6 +170,7 @@ class FloodManager:
     def _on_frame(self, frame: Frame) -> None:
         msg: FloodMessage = frame.payload
         if msg.fid in self._seen:
+            self._c_duplicates.value += 1
             if self.count_duplicate is not None:
                 self.count_duplicate(msg.origin, msg.payload)
             return
@@ -147,6 +180,7 @@ class FloodManager:
             self.deliver(msg.origin, msg.payload, hops_here)
         remaining = msg.budget - 1
         if remaining > 0:
+            self._c_forwarded.value += 1
             fwd = FloodMessage(
                 fid=msg.fid,
                 origin=msg.origin,

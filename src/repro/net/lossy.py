@@ -31,6 +31,8 @@ __all__ = ["LossyChannel"]
 class LossyChannel(Channel):
     """Channel with distance-dependent reception probability.
 
+    Metrics carry ``layer="lossy"``.
+
     Parameters
     ----------
     solid:
@@ -40,6 +42,8 @@ class LossyChannel(Channel):
     seed:
         Loss-draw randomness (deterministic).
     """
+
+    LAYER = "lossy"
 
     def __init__(
         self,
@@ -59,7 +63,17 @@ class LossyChannel(Channel):
         self.solid = float(solid)
         self.edge_p = float(edge_p)
         self._rng = np.random.default_rng(seed)
-        self.losses = 0
+        self._c_losses = self.registry.counter("net.losses", layer=self.LAYER)
+
+    @property
+    def losses(self) -> int:
+        """Copies lost to the range-edge draw (deprecated view of ``net.losses``)."""
+        return self._c_losses.value
+
+    def stats(self):
+        out = super().stats()
+        out["losses"] = self._c_losses.value
+        return out
 
     # ------------------------------------------------------------------
     def delivery_probability(self, src: int, dst: int) -> float:
@@ -80,7 +94,7 @@ class LossyChannel(Channel):
             return True
         if self._rng.random() < p:
             return True
-        self.losses += 1
+        self._c_losses.value += 1
         return False
 
     # ------------------------------------------------------------------
@@ -90,7 +104,7 @@ class LossyChannel(Channel):
         if not self.world.is_up(frame.src):
             return False
         self.world.energy.charge_tx(frame.src, frame.size)
-        self.frames_sent += 1
+        self._c_sent.value += 1
         ok = (
             self.world.link(frame.src, frame.dst)
             and self.world.is_up(frame.dst)
@@ -105,7 +119,7 @@ class LossyChannel(Channel):
         if not self.world.is_up(frame.src):
             return 0
         self.world.energy.charge_tx(frame.src, frame.size)
-        self.frames_sent += 1
+        self._c_sent.value += 1
         count = 0
         for dst in self.world.neighbors(frame.src):
             dst = int(dst)

@@ -44,7 +44,14 @@ class CsmaChannel(Channel):
         Contention window and retry budget before dropping.
     seed:
         Backoff randomness (deterministic).
+
+    MAC counters (``net.collisions``, ``net.backoffs``,
+    ``net.drops_contention``, ``net.airtime_seconds`` histogram) carry
+    ``layer="csma"``; the old attribute names remain as read-through
+    properties.
     """
+
+    LAYER = "csma"
 
     def __init__(
         self,
@@ -74,9 +81,37 @@ class CsmaChannel(Channel):
         self._tx_until: Dict[int, float] = {}
         #: receiver -> list of (start, end, frame, src) arrivals in flight
         self._arrivals: Dict[int, List[Tuple[float, float, Frame]]] = {}
-        self.collisions = 0
-        self.backoffs = 0
-        self.drops_contention = 0
+        self._c_collisions = self.registry.counter("net.collisions", layer=self.LAYER)
+        self._c_backoffs = self.registry.counter("net.backoffs", layer=self.LAYER)
+        self._c_drops = self.registry.counter("net.drops_contention", layer=self.LAYER)
+        self._h_airtime = self.registry.histogram("net.airtime_seconds", layer=self.LAYER)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def collisions(self) -> int:
+        """Receiver-side collisions (deprecated view of ``net.collisions``)."""
+        return self._c_collisions.value
+
+    @property
+    def backoffs(self) -> int:
+        """Carrier-sense backoffs (deprecated view of ``net.backoffs``)."""
+        return self._c_backoffs.value
+
+    @property
+    def drops_contention(self) -> int:
+        """Frames dropped after retry exhaustion (deprecated view)."""
+        return self._c_drops.value
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out.update(
+            collisions=self._c_collisions.value,
+            backoffs=self._c_backoffs.value,
+            drops_contention=self._c_drops.value,
+        )
+        return out
 
     # ------------------------------------------------------------------
     def airtime(self, frame: Frame) -> float:
@@ -120,9 +155,9 @@ class CsmaChannel(Channel):
             return
         if self._channel_busy(frame.src):
             if attempt >= self.max_retries:
-                self.drops_contention += 1
+                self._c_drops.value += 1
                 return
-            self.backoffs += 1
+            self._c_backoffs.value += 1
             backoff = (1 + int(self._rng.integers(self.max_backoff_slots))) * self.slot
             self.sim.schedule(backoff, self._try_send, frame, attempt + 1)
             return
@@ -133,8 +168,9 @@ class CsmaChannel(Channel):
         duration = self.airtime(frame)
         end = now + duration
         self._tx_until[frame.src] = end
+        self._h_airtime.observe(duration)
         self.world.energy.charge_tx(frame.src, frame.size)
-        self.frames_sent += 1
+        self._c_sent.value += 1
         if frame.dst == BROADCAST:
             receivers = [
                 int(d) for d in self.world.neighbors(frame.src) if self.world.is_up(int(d))
@@ -155,7 +191,7 @@ class CsmaChannel(Channel):
         for i, (s, e, other) in enumerate(queue):
             if s < end and start < e and e > self.sim.now:
                 queue[i] = (s, e, None)  # poison the other copy
-                self.collisions += 1
+                self._c_collisions.value += 1
                 return  # this copy dies too (not registered)
         queue.append((start, end, frame))
         self.sim.schedule(end - self.sim.now, self._complete_arrival, dst, start, end)

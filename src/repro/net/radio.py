@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.registry import Registry
 from ..sim.kernel import Simulator
 from .packet import BROADCAST, Frame
 from .world import World
@@ -72,7 +73,13 @@ class Channel:
     on_deliver:
         Optional observer called as ``on_deliver(node_id, frame)`` for
         every delivered frame -- the metrics layer hooks in here.
+    registry:
+        Observability registry for the channel counters; a private one
+        is created when not supplied.
     """
+
+    #: layer label the channel's metrics carry
+    LAYER = "radio"
 
     def __init__(
         self,
@@ -81,6 +88,7 @@ class Channel:
         *,
         latency: float = DEFAULT_LATENCY,
         on_deliver: Optional[Callable[[int, Frame], None]] = None,
+        registry: Optional[Registry] = None,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
@@ -89,10 +97,33 @@ class Channel:
         self.latency = float(latency)
         self.on_deliver = on_deliver
         self.nodes: List[NetNode] = [NetNode(i, self) for i in range(world.n)]
-        #: total frames put on air (diagnostics)
-        self.frames_sent = 0
-        #: total frame copies delivered
-        self.frames_delivered = 0
+        if registry is None:
+            registry = getattr(world, "registry", None)
+        self.registry = registry if registry is not None else Registry()
+        # Registered counters; the old attribute names survive as
+        # read-through properties.
+        self._c_sent = self.registry.counter("net.frames_sent", layer=self.LAYER)
+        self._c_delivered = self.registry.counter("net.frames_delivered", layer=self.LAYER)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def frames_sent(self) -> int:
+        """Frames put on air (deprecated view of ``net.frames_sent``)."""
+        return self._c_sent.value
+
+    @property
+    def frames_delivered(self) -> int:
+        """Frame copies delivered (deprecated view of ``net.frames_delivered``)."""
+        return self._c_delivered.value
+
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "frames_sent": self._c_sent.value,
+            "frames_delivered": self._c_delivered.value,
+        }
 
     # ------------------------------------------------------------------
     def unicast(self, frame: Frame) -> bool:
@@ -109,7 +140,7 @@ class Channel:
         if not self.world.is_up(src):
             return False
         self.world.energy.charge_tx(src, frame.size)
-        self.frames_sent += 1
+        self._c_sent.value += 1
         ok = self.world.link(src, dst) and self.world.is_up(dst)
         if ok:
             self.sim.schedule(self.latency, self._deliver, dst, frame)
@@ -122,7 +153,7 @@ class Channel:
         if not self.world.is_up(src):
             return 0
         self.world.energy.charge_tx(src, frame.size)
-        self.frames_sent += 1
+        self._c_sent.value += 1
         receivers = self.world.neighbors(src)
         count = 0
         for dst in receivers:
@@ -139,7 +170,7 @@ class Channel:
         if not self.world.is_up(dst):
             return
         self.world.energy.charge_rx(dst, frame.size)
-        self.frames_delivered += 1
+        self._c_delivered.value += 1
         if self.on_deliver is not None:
             self.on_deliver(dst, frame)
         self.nodes[dst].on_frame(frame)

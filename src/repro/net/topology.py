@@ -38,9 +38,12 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Tuple, Type, Union
 
 import numpy as np
+
+from ..obs.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world imports us)
     from .world import World
@@ -92,10 +95,34 @@ class TopologyBackend(abc.ABC):
         self.dist_cache_size = int(dist_cache_size)
         self._snap_time = -1.0
         self._dist: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        #: snapshots computed (observability)
-        self.rebuilds = 0
-        #: hop-distance queries answered from the memo
-        self.dist_cache_hits = 0
+        registry = getattr(world, "registry", None)
+        self.registry = registry if registry is not None else Registry()
+        labels = {"layer": "topology", "backend": type(self).name}
+        self._c_rebuilds = self.registry.counter("topology.rebuilds", **labels)
+        self._c_dist_hits = self.registry.counter("topology.dist_cache_hits", **labels)
+        self._t_rebuild = self.registry.timer("wall", section="topology.rebuild")
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def rebuilds(self) -> int:
+        """Snapshots computed (deprecated view of ``topology.rebuilds``)."""
+        return self._c_rebuilds.value
+
+    @property
+    def dist_cache_hits(self) -> int:
+        """Memoized BFS hits (deprecated view of ``topology.dist_cache_hits``)."""
+        return self._c_dist_hits.value
+
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "rebuilds": self._c_rebuilds.value,
+            "dist_cache_hits": self._c_dist_hits.value,
+            "dist_cache_size": len(self._dist),
+            "snapshot_time": self._snap_time,
+        }
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
@@ -114,10 +141,12 @@ class TopologyBackend(abc.ABC):
             or (t - self._snap_time) > self.world.snapshot_interval
         )
         if stale:
+            t0 = perf_counter()
             self._rebuild(self.world.positions(), self.world.down_mask())
+            self._t_rebuild.add(perf_counter() - t0)
             self._snap_time = t
             self._dist.clear()
-            self.rebuilds += 1
+            self._c_rebuilds.value += 1
 
     def invalidate(self) -> None:
         """Drop the snapshot; the next query recomputes everything."""
@@ -166,7 +195,7 @@ class TopologyBackend(abc.ABC):
         cached = self._dist.get(src)
         if cached is not None:
             self._dist.move_to_end(src)
-            self.dist_cache_hits += 1
+            self._c_dist_hits.value += 1
             return cached
         dist = self._bfs(src)
         self._dist[src] = dist
@@ -290,9 +319,21 @@ class SparseGridTopology(TopologyBackend):
         #: per-node neighbor memo for the current snapshot
         self._nbr: Dict[int, np.ndarray] = {}
         self._r2 = 0.0
-        #: CSR builds performed (observability: should be << rebuilds
-        #: for neighbor-only workloads)
-        self.csr_builds = 0
+        # CSR builds performed (observability: should be << rebuilds
+        # for neighbor-only workloads); exposed via the property below.
+        self._c_csr_builds = self.registry.counter(
+            "topology.csr_builds", layer="topology", backend=type(self).name
+        )
+
+    @property
+    def csr_builds(self) -> int:
+        """CSR adjacency builds (deprecated view of ``topology.csr_builds``)."""
+        return self._c_csr_builds.value
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out["csr_builds"] = self._c_csr_builds.value
+        return out
 
     # ------------------------------------------------------------------
     def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
@@ -373,7 +414,7 @@ class SparseGridTopology(TopologyBackend):
         self.refresh()
         if self._csr is None:
             self._csr = self._build_csr()
-            self.csr_builds += 1
+            self._c_csr_builds.value += 1
         return self._csr
 
     def _build_csr(self) -> Tuple[np.ndarray, np.ndarray]:

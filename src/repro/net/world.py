@@ -24,11 +24,12 @@ backend materializes it on demand.
 
 from __future__ import annotations
 
-from typing import Optional, Type, Union
+from typing import Dict, Optional, Type, Union
 
 import numpy as np
 
 from ..mobility.base import Area, MobilityModel
+from ..obs.registry import Registry
 from ..sim.kernel import Simulator
 from .energy import EnergyModel
 from .topology import (
@@ -67,6 +68,9 @@ class World:
         :class:`~repro.net.topology.TopologyBackend` subclass.
     dist_cache_size:
         LRU bound on memoized per-source hop-distance vectors.
+    registry:
+        Observability registry shared with the topology backend; the
+        simulator's registry is used when not supplied.
     """
 
     def __init__(
@@ -79,12 +83,16 @@ class World:
         snapshot_interval: float = 0.0,
         topology: Union[str, Type[TopologyBackend]] = "dense",
         dist_cache_size: int = DEFAULT_DIST_CACHE,
+        registry: Optional[Registry] = None,
     ) -> None:
         if radio_range <= 0:
             raise ValueError(f"radio_range must be positive, got {radio_range}")
         if snapshot_interval < 0:
             raise ValueError(f"snapshot_interval must be >= 0, got {snapshot_interval}")
         self.snapshot_interval = float(snapshot_interval)
+        if registry is None:
+            registry = getattr(sim, "registry", None)
+        self.registry = registry if registry is not None else Registry()
         self.sim = sim
         self.mobility = mobility
         self.n = mobility.n
@@ -185,6 +193,18 @@ class World:
         if dead.any():
             for i in np.flatnonzero(dead):
                 self.set_down(int(i))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "nodes": self.n,
+            "down": int(self._down.sum()),
+            "depleted": int(self.energy.depleted().sum()),
+            "radio_range": self.radio_range,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

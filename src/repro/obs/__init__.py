@@ -1,0 +1,64 @@
+"""Unified observability layer: registry, sampler, manifest, exporters.
+
+One surface for everything a run can tell you about itself:
+
+* :class:`Registry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` / :class:`Timer` instruments, labeled by node /
+  family / layer -- every ad-hoc counter in the simulator is registered
+  here (the old attributes remain as read-through views);
+* :class:`Sampler` -- snapshots the registry on a sim-time interval
+  into a deterministic time-series;
+* :class:`RunManifest` -- per-run provenance (config hash, seed, git
+  revision, wall clock, peak counters);
+* ND-JSON / CSV exporters in the :mod:`repro.sim.trace` style;
+* the versioned run-result schema (:data:`RUN_SCHEMA_VERSION`,
+  :func:`validate_run_dict`) consumed by storage, sweeps and the CLI.
+
+Components expose a uniform ``stats() -> dict`` protocol (flat dict of
+numbers); :func:`timed` adds wall-clock section timing for the
+``run --stats`` breakdown.
+"""
+
+from .export import (
+    registry_to_csv,
+    registry_to_ndjson,
+    timeseries_to_csv,
+    timeseries_to_ndjson,
+    to_plain,
+)
+from .manifest import RunManifest, config_hash, git_revision
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Sample,
+    Timer,
+    default_registry,
+    timed,
+)
+from .sampler import Sampler
+from .schema import RUN_SCHEMA_VERSION, SchemaError, validate_run_dict
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Registry",
+    "Sample",
+    "Sampler",
+    "RunManifest",
+    "config_hash",
+    "git_revision",
+    "default_registry",
+    "timed",
+    "to_plain",
+    "registry_to_ndjson",
+    "registry_to_csv",
+    "timeseries_to_ndjson",
+    "timeseries_to_csv",
+    "RUN_SCHEMA_VERSION",
+    "SchemaError",
+    "validate_run_dict",
+]

@@ -1,0 +1,372 @@
+"""Process-local instrumentation registry.
+
+Every layer of a simulation used to keep its own ad-hoc counters
+(``Simulator.events_dispatched``, ``FloodManager.evictions``, the
+``MetricsCollector`` arrays, ...), each with its own access idiom.  The
+registry gives them one: a component asks its :class:`Registry` for a
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` / :class:`Timer`
+named like ``"kernel.events_dispatched"`` and optionally *labeled*
+(``node=3``, ``family="ping"``, ``layer="radio"``), keeps a direct
+reference for the hot path, and the registry can later enumerate,
+aggregate and export everything uniformly.
+
+Design constraints (these shaped the API):
+
+* **Hot-path cost is one attribute increment.**  ``Counter.value`` is a
+  plain attribute; instrumented code does ``c.value += 1``.  No dict
+  lookup, no method call required (``inc()`` exists for convenience).
+* **Determinism.**  Metrics only *observe*; nothing in this module
+  touches simulation state, RNG streams or event ordering, so a run
+  with a fully-populated registry is bit-identical to one without.
+* **Process-local.**  A registry is plain Python state owned by one
+  simulation (or the module-level :func:`default_registry` for ad-hoc
+  use); there is no I/O and no global mutation besides that default.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Registry",
+    "Sample",
+    "default_registry",
+    "timed",
+]
+
+LabelItems = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_labels(labels: Dict[str, Any]) -> LabelItems:
+    """Canonical (sorted, immutable) form of a label set."""
+    return tuple(sorted((str(k), v) for k, v in labels.items()))
+
+
+def flatten_key(name: str, labels: LabelItems) -> str:
+    """``name{k=v,...}`` string key (stable across runs)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Common identity of every registered instrument."""
+
+    kind = "abstract"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> Dict[str, Any]:
+        return dict(self.labels)
+
+    @property
+    def key(self) -> str:
+        """Flattened ``name{labels}`` identity."""
+        return flatten_key(self.name, self.labels)
+
+    def samples(self) -> List[Tuple[str, float]]:
+        """Numeric readings as ``(suffixed_name, value)`` pairs."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.key}>"
+
+
+class Counter(Metric):
+    """Monotonically increasing count.  Hot path: ``c.value += n``."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Gauge(Metric):
+    """Point-in-time value: either set explicitly or read via callback."""
+
+    kind = "gauge"
+    __slots__ = ("fn", "_value")
+
+    def __init__(
+        self, name: str, labels: LabelItems, fn: Optional[Callable[[], float]] = None
+    ) -> None:
+        super().__init__(name, labels)
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.key} is callback-backed; cannot set()")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return float(self.fn()) if self.fn is not None else self._value
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Histogram(Metric):
+    """Streaming summary (count / sum / min / max) of observed values."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def samples(self) -> List[Tuple[str, float]]:
+        out = [(self.name + ".count", float(self.count)), (self.name + ".sum", self.total)]
+        if self.count:
+            out.append((self.name + ".min", self.min))
+            out.append((self.name + ".max", self.max))
+        return out
+
+
+class Timer(Metric):
+    """Accumulated wall-clock time of a named code section.
+
+    Timings are *wall* clock (``time.perf_counter``), never simulation
+    time, and feed nothing back into the run -- they exist so
+    ``run --stats`` can show where real time went.
+    """
+
+    kind = "timer"
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.seconds = 0.0
+        self.calls = 0
+
+    def time(self) -> "_TimerContext":
+        """Context manager accumulating the enclosed wall time."""
+        return _TimerContext(self)
+
+    def add(self, seconds: float, calls: int = 1) -> None:
+        self.seconds += seconds
+        self.calls += calls
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return [(self.name + ".seconds", self.seconds), (self.name + ".calls", float(self.calls))]
+
+
+class _TimerContext:
+    __slots__ = ("timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self.timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.timer.add(time.perf_counter() - self._t0)
+
+
+class Sample:
+    """One numeric reading: ``(name, labels, value, kind)``."""
+
+    __slots__ = ("name", "labels", "value", "kind")
+
+    def __init__(self, name: str, labels: LabelItems, value: float, kind: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+        self.kind = kind
+
+    @property
+    def key(self) -> str:
+        return flatten_key(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Sample {self.key}={self.value}>"
+
+
+#: Section label used by :meth:`Registry.timed` /  :func:`timed`.
+WALL = "wall"
+
+
+class Registry:
+    """Get-or-create factory and enumerator for metrics.
+
+    Asking twice for the same ``(kind, name, labels)`` returns the same
+    object, so independent components may share an instrument (or keep
+    per-node ones by labeling with ``node=...``).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelItems], Metric] = {}
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def _get(self, cls: type, name: str, labels: Dict[str, Any], **kwargs: Any) -> Metric:
+        key = (cls.kind, str(name), _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key[1], key[2], **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], float]] = None, **labels: Any
+    ) -> Gauge:
+        g: Gauge = self._get(Gauge, name, labels)  # type: ignore[assignment]
+        if fn is not None:
+            g.fn = fn
+        return g
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    def timer(self, name: str, **labels: Any) -> Timer:
+        return self._get(Timer, name, labels)  # type: ignore[return-value]
+
+    def timed(self, section: str) -> _TimerContext:
+        """``with registry.timed("kernel.run"): ...`` wall-clock hook."""
+        return self.timer(WALL, section=section).time()
+
+    # ------------------------------------------------------------------
+    # enumeration and aggregation
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[Metric]:
+        """All registered metrics in deterministic (kind, name, labels) order."""
+        return [self._metrics[k] for k in sorted(self._metrics, key=_metric_sort_key)]
+
+    def collect(self, *, skip_kinds: Tuple[str, ...] = ()) -> Iterator[Sample]:
+        """Yield every numeric reading, deterministically ordered."""
+        for metric in self.metrics():
+            if metric.kind in skip_kinds:
+                continue
+            for name, value in metric.samples():
+                yield Sample(name, metric.labels, value, metric.kind)
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Sum of every counter/gauge named ``name`` matching ``labels``.
+
+        Label aggregation: passing a subset of labels sums over the
+        unspecified ones (``value("flood.evictions", plane="p2p.flood")``
+        totals all nodes of that plane).
+        """
+        want = _freeze_labels(labels)
+        total = 0.0
+        seen = False
+        for metric in self.metrics():
+            if metric.name != name or metric.kind not in ("counter", "gauge"):
+                continue
+            have = dict(metric.labels)
+            if any(have.get(k, _MISSING) != v for k, v in want):
+                continue
+            total += metric.value  # type: ignore[union-attr]
+            seen = True
+        if not seen:
+            raise KeyError(f"no counter/gauge named {name!r} matching {dict(want)}")
+        return total
+
+    def snapshot(self, *, skip_kinds: Tuple[str, ...] = ()) -> Dict[str, float]:
+        """Flat ``{"name{labels}": value}`` dump of every reading."""
+        return {s.key: s.value for s in self.collect(skip_kinds=skip_kinds)}
+
+    def aggregated(
+        self, *, drop_labels: Tuple[str, ...] = ("node",), skip_kinds: Tuple[str, ...] = ()
+    ) -> Dict[str, float]:
+        """Readings summed over ``drop_labels`` (per-node detail folded).
+
+        The result maps ``name{remaining-labels}`` to the summed value;
+        this is what the sampler records and ``run --stats`` tabulates,
+        so per-node label cardinality never bloats exported series.
+        """
+        out: Dict[str, float] = {}
+        for s in self.collect(skip_kinds=skip_kinds):
+            kept = tuple((k, v) for k, v in s.labels if k not in drop_labels)
+            key = flatten_key(s.name, kept)
+            out[key] = out.get(key, 0.0) + s.value
+        return out
+
+    def wall_times(self) -> Dict[str, Tuple[float, int]]:
+        """``{section: (seconds, calls)}`` for every :meth:`timed` section."""
+        out: Dict[str, Tuple[float, int]] = {}
+        for metric in self.metrics():
+            if metric.kind == "timer" and metric.name == WALL:
+                section = dict(metric.labels).get("section", metric.key)
+                out[str(section)] = (metric.seconds, metric.calls)  # type: ignore[union-attr]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Registry metrics={len(self._metrics)}>"
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _metric_sort_key(key: Tuple[str, str, LabelItems]) -> Tuple[str, str, str]:
+    kind, name, labels = key
+    return (name, kind, repr(labels))
+
+
+_DEFAULT: Optional[Registry] = None
+
+
+def default_registry() -> Registry:
+    """The process-wide fallback registry (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Registry()
+    return _DEFAULT
+
+
+def timed(section: str, registry: Optional[Registry] = None) -> _TimerContext:
+    """Module-level sugar: time a section on ``registry`` (or the default)."""
+    reg = registry if registry is not None else default_registry()
+    return reg.timed(section)

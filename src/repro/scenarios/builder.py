@@ -7,8 +7,8 @@ harvests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..aodv.protocol import AodvRouter
 from ..core.overlay import OverlayNetwork
@@ -29,6 +29,9 @@ from ..mobility import (
 from ..net.energy import EnergyModel
 from ..net.radio import Channel
 from ..net.world import World
+from ..obs.manifest import RunManifest
+from ..obs.registry import Registry
+from ..obs.sampler import Sampler
 from ..routing.base import Router
 from ..routing.oracle import OracleRouter
 from ..sim.kernel import Simulator
@@ -53,11 +56,33 @@ class Simulation:
     metrics: MetricsCollector
     members: List[int]
     lifetimes: LifetimeLog
+    #: shared observability registry (same object every layer reports to)
+    registry: Registry = field(default_factory=Registry)
+    #: periodic time-series sampler; None when ``cfg.obs_interval == 0``
+    sampler: Optional[Sampler] = None
+    #: per-run provenance record
+    manifest: Optional[RunManifest] = None
 
     def run(self) -> None:
-        """Start the overlay and run to the configured horizon."""
+        """Start the overlay (and sampler) and run to the horizon."""
+        if self.sampler is not None:
+            self.sampler.start()
         self.overlay.start(queries=self.config.queries)
         self.sim.run(until=self.config.duration)
+        if self.manifest is not None:
+            self.manifest.finish(self.registry)
+
+    def stats(self) -> dict:
+        """Nested per-layer ``stats()`` snapshot of the whole stack."""
+        return {
+            "kernel": self.sim.stats(),
+            "world": self.world.stats(),
+            "energy": self.world.energy.stats(),
+            "channel": self.channel.stats(),
+            "topology": self.world.topology.stats(),
+            "overlay": self.overlay.stats(),
+            "p2p_received": self.metrics.stats(),
+        }
 
 
 def _make_mobility(cfg: ScenarioConfig, rng: RngRegistry) -> MobilityModel:
@@ -88,6 +113,7 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
     """Wire every layer for ``cfg`` (deterministic given ``cfg.seed``)."""
     rng = RngRegistry(cfg.seed)
     sim = Simulator()
+    registry = sim.registry  # every layer below shares this one
     mobility = _make_mobility(cfg, rng)
     world = World(
         sim,
@@ -140,6 +166,20 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         count_received=metrics.count_received,
         lifetime_log=lifetimes,
     )
+
+    # Top-level gauges: live views the sampler snapshots each interval.
+    registry.gauge("energy.consumed", fn=world.energy.total_consumed)
+    registry.gauge("overlay.connections", fn=overlay.open_connections)
+    registry.gauge("overlay.members", fn=lambda: len(overlay.members))
+    for fam in metrics.received:
+        registry.gauge(
+            "p2p.received", fn=(lambda f=fam: metrics.total(f)), family=fam
+        )
+
+    sampler = (
+        Sampler(sim, registry, cfg.obs_interval) if cfg.obs_interval > 0 else None
+    )
+    manifest = RunManifest.begin(cfg.to_dict(), cfg.seed)
     return Simulation(
         config=cfg,
         sim=sim,
@@ -152,4 +192,7 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         metrics=metrics,
         members=members,
         lifetimes=lifetimes,
+        registry=registry,
+        sampler=sampler,
+        manifest=manifest,
     )

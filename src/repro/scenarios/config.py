@@ -9,8 +9,8 @@ seconds.  Every experiment is a variation of these fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional
 
 from ..core.config import P2pConfig
 from ..core.query import QueryConfig
@@ -77,6 +77,9 @@ class ScenarioConfig:
     topology: str = "dense"
     #: whether the query plane runs (off for pure-reconfiguration studies)
     queries: bool = True
+    #: sim-time interval between observability samples; 0 disables the
+    #: sampler (counters still accumulate, no time series is recorded)
+    obs_interval: float = 0.0
 
     p2p: P2pConfig = field(default_factory=P2pConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
@@ -98,6 +101,8 @@ class ScenarioConfig:
             raise ValueError(f"unknown topology backend {self.topology!r}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.obs_interval < 0:
+            raise ValueError(f"obs_interval must be >= 0, got {self.obs_interval}")
 
     # ------------------------------------------------------------------
     @property
@@ -119,3 +124,43 @@ class ScenarioConfig:
     def for_repetition(self, rep: int) -> "ScenarioConfig":
         """The same scenario with the repetition's seed offset."""
         return self.with_(seed=self.seed + rep)
+
+    # ------------------------------------------------------------------
+    # serialization (JSON-safe; inf <-> the string "Infinity")
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every field, nested configs included."""
+        return {k: _encode(v) for k, v in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        names = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: _decode(v) for k, v in d.items() if k in names}
+        if isinstance(kwargs.get("p2p"), dict):
+            kwargs["p2p"] = P2pConfig(**kwargs["p2p"])
+        if isinstance(kwargs.get("query"), dict):
+            kwargs["query"] = QueryConfig(**kwargs["query"])
+        return cls(**kwargs)
+
+
+def _encode(v):
+    """Recursively make a config value JSON-safe (inf -> "Infinity")."""
+    if isinstance(v, dict):
+        return {k: _encode(x) for k, x in v.items()}
+    if isinstance(v, float) and v == float("inf"):
+        return "Infinity"
+    if isinstance(v, float) and v == float("-inf"):
+        return "-Infinity"
+    return v
+
+
+def _decode(v):
+    """Inverse of :func:`_encode`."""
+    if isinstance(v, dict):
+        return {k: _decode(x) for k, x in v.items()}
+    if v == "Infinity":
+        return float("inf")
+    if v == "-Infinity":
+        return float("-inf")
+    return v

@@ -53,6 +53,10 @@ class Event:
     cancelled:
         Cooperative cancellation flag.  Cancelled events stay on the heap
         but are skipped when popped (lazy deletion -- O(1) cancel).
+    daemon:
+        Observation-plane flag.  Daemon events (metric samplers) are
+        dispatched normally but excluded from ``events_dispatched``, so
+        instrumented runs report identical event counts to bare ones.
     owner:
         The scheduler that queued this event, if any.  Cancellation
         notifies it so it can track dead weight on the heap and compact
@@ -65,6 +69,7 @@ class Event:
     fn: Callable[..., Any]
     args: tuple = field(default=())
     cancelled: bool = False
+    daemon: bool = False
     owner: Any = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:

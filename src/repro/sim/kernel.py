@@ -24,8 +24,9 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
+from ..obs.registry import Registry
 from .events import Event, Priority
 
 __all__ = ["Simulator", "SimulationError"]
@@ -46,6 +47,9 @@ class Simulator:
     ----------
     start_time:
         Initial simulation clock value (seconds).  Defaults to 0.
+    registry:
+        Observability registry the kernel's counters live in; a private
+        one is created when not supplied (standalone use, tests).
 
     Examples
     --------
@@ -60,21 +64,61 @@ class Simulator:
     1.5
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, registry: Optional[Registry] = None) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
         self._stopped = False
-        #: number of events actually dispatched (skips excluded)
-        self.events_dispatched = 0
-        #: number of cancelled events removed (skipped on pop or purged
-        #: by a heap compaction)
-        self.events_skipped = 0
-        #: number of heap compactions performed
-        self.heap_compactions = 0
+        self.registry = registry if registry is not None else Registry()
+        # Registered counters; the old attribute names survive below as
+        # read-through properties.
+        self._c_dispatched = self.registry.counter("kernel.events_dispatched")
+        self._c_skipped = self.registry.counter("kernel.events_skipped")
+        self._c_compactions = self.registry.counter("kernel.heap_compactions")
+        self._c_daemon = self.registry.counter("kernel.events_daemon")
+        self.registry.gauge("kernel.heap", fn=lambda: float(len(self._heap)))
         #: cancelled events currently sitting on the heap
         self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def events_dispatched(self) -> int:
+        """Events dispatched, skips and daemon (sampler) events excluded.
+
+        Deprecated attribute-style view; the value lives in the
+        registry counter ``kernel.events_dispatched``.
+        """
+        return self._c_dispatched.value
+
+    @property
+    def events_skipped(self) -> int:
+        """Cancelled events removed (deprecated view of the registry counter)."""
+        return self._c_skipped.value
+
+    @property
+    def heap_compactions(self) -> int:
+        """Heap compactions performed (deprecated view of the registry counter)."""
+        return self._c_compactions.value
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including cancelled entries (sampling gauge)."""
+        return len(self._heap)
+
+    def stats(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see the ``stats()`` protocol)."""
+        return {
+            "events_dispatched": self._c_dispatched.value,
+            "events_skipped": self._c_skipped.value,
+            "events_daemon": self._c_daemon.value,
+            "heap_compactions": self._c_compactions.value,
+            "heap_size": len(self._heap),
+            "pending": self.pending(),
+            "now": self._now,
+        }
 
     # ------------------------------------------------------------------
     # clock
@@ -93,15 +137,20 @@ class Simulator:
         fn: Callable[..., Any],
         *args: Any,
         priority: int = Priority.NORMAL,
+        daemon: bool = False,
     ) -> Event:
         """Schedule ``fn(*args)`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, whose :meth:`~Event.cancel` method
-        revokes it.  ``delay`` must be non-negative.
+        revokes it.  ``delay`` must be non-negative.  ``daemon`` events
+        (observation plane) dispatch normally but are excluded from
+        ``events_dispatched``.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+        return self.schedule_at(
+            self._now + delay, fn, *args, priority=priority, daemon=daemon
+        )
 
     def schedule_at(
         self,
@@ -109,6 +158,7 @@ class Simulator:
         fn: Callable[..., Any],
         *args: Any,
         priority: int = Priority.NORMAL,
+        daemon: bool = False,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation ``time``."""
         if time < self._now:
@@ -121,6 +171,7 @@ class Simulator:
             seq=self._seq,
             fn=fn,
             args=args,
+            daemon=daemon,
             owner=self,
         )
         self._seq += 1
@@ -150,8 +201,8 @@ class Simulator:
         if purged:
             heapq.heapify(live)
             self._heap = live
-            self.events_skipped += purged
-            self.heap_compactions += 1
+            self._c_skipped.value += purged
+            self._c_compactions.value += 1
         self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
@@ -166,12 +217,15 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
-                self.events_skipped += 1
+                self._c_skipped.value += 1
                 if self._cancelled_pending:
                     self._cancelled_pending -= 1
                 continue
             self._now = ev.time
-            self.events_dispatched += 1
+            if ev.daemon:
+                self._c_daemon.value += 1
+            else:
+                self._c_dispatched.value += 1
             ev.fn(*ev.args)
             return ev
         return None
@@ -180,7 +234,7 @@ class Simulator:
         """Time of the next live event, or ``None`` if queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
-            self.events_skipped += 1
+            self._c_skipped.value += 1
             if self._cancelled_pending:
                 self._cancelled_pending -= 1
         return self._heap[0].time if self._heap else None

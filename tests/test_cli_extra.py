@@ -72,3 +72,66 @@ class TestReproduceCommand:
         out = capsys.readouterr().out
         assert "artifacts written" in out
         assert (tmp_path / "res" / "SUMMARY.md").exists()
+
+
+class TestRunStats:
+    ARGS = ["run", "--nodes", "12", "--duration", "40"]
+
+    def test_stats_flag_prints_breakdown(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock breakdown" in out and "scenario.run" in out
+        assert "counters" in out and "kernel.events_dispatched" in out
+
+    def test_json_includes_obs(self, capsys):
+        assert main(self.ARGS + ["--json", "--obs-interval", "10"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == 1
+        assert len(data["obs"]["timeseries"]) == 4
+        assert "manifest" in data["obs"]
+
+
+class TestSweepJson:
+    def test_sweep_json(self, capsys):
+        assert (
+            main(["sweep", "nodes", "10", "12", "--duration", "40", "--json"]) == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert [p["point"]["num_nodes"] for p in data] == [10, 12]
+        assert all("answer_rate" in p for p in data)
+
+
+class TestStatsCommand:
+    def test_stats_reads_archived_run(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.ndjson")
+        assert (
+            main(
+                ["run", "--nodes", "12", "--duration", "40", "--store", path]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "run: regular, 12 nodes" in out
+        assert "wall-clock breakdown" in out
+        assert "provenance" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.ndjson")
+        main(["run", "--nodes", "12", "--duration", "40", "--store", path])
+        capsys.readouterr()
+        assert main(["stats", path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_nodes"] == 12 and data["schema_version"] == 1
+
+    def test_stats_missing_store(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.ndjson")]) == 1
+        assert "no archived runs" in capsys.readouterr().err
+
+    def test_stats_bad_index(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.ndjson")
+        main(["run", "--nodes", "12", "--duration", "40", "--store", path])
+        capsys.readouterr()
+        assert main(["stats", path, "--index", "5"]) == 1
+        assert "out of range" in capsys.readouterr().err

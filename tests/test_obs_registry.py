@@ -1,0 +1,184 @@
+"""Tests for the observability registry: instruments, labels, stats()."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Registry,
+    registry_to_csv,
+    registry_to_ndjson,
+    timeseries_to_csv,
+    timeseries_to_ndjson,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestInstruments:
+    def test_counter_hot_path(self):
+        reg = Registry()
+        c = reg.counter("hits")
+        c.value += 1
+        c.inc(2)
+        assert c.value == 3
+
+    def test_gauge_set_and_callback(self):
+        reg = Registry()
+        g = reg.gauge("depth")
+        g.set(4.5)
+        assert g.value == 4.5
+        backing = [7]
+        live = reg.gauge("live", fn=lambda: backing[0])
+        backing[0] = 9
+        assert live.value == 9
+        with pytest.raises(ValueError):
+            live.set(1.0)
+
+    def test_histogram_summary(self):
+        reg = Registry()
+        h = reg.histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3 and h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0 and h.mean == 2.0
+
+    def test_timer_accumulates(self):
+        reg = Registry()
+        t = reg.timer("wall", section="x")
+        with t.time():
+            pass
+        t.add(0.5)
+        assert t.calls == 2 and t.seconds >= 0.5
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = Registry()
+        a = reg.counter("c", node=1)
+        b = reg.counter("c", node=1)
+        c = reg.counter("c", node=2)
+        assert a is b and a is not c
+        # Label order must not matter.
+        x = reg.counter("d", a=1, b=2)
+        y = reg.counter("d", b=2, a=1)
+        assert x is y
+
+    def test_label_aggregation(self):
+        reg = Registry()
+        reg.counter("msgs", family="ping", node=0).inc(3)
+        reg.counter("msgs", family="ping", node=1).inc(4)
+        reg.counter("msgs", family="query", node=0).inc(5)
+        assert reg.value("msgs") == 12
+        assert reg.value("msgs", family="ping") == 7
+        assert reg.value("msgs", family="ping", node=1) == 4
+        with pytest.raises(KeyError):
+            reg.value("msgs", family="absent")
+
+    def test_aggregated_folds_node_label(self):
+        reg = Registry()
+        reg.counter("msgs", family="ping", node=0).inc(3)
+        reg.counter("msgs", family="ping", node=1).inc(4)
+        agg = reg.aggregated()
+        assert agg["msgs{family=ping}"] == 7
+        assert not any("node=" in k for k in agg)
+
+    def test_snapshot_keys_deterministic(self):
+        reg = Registry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == sorted(reg.snapshot())
+
+    def test_wall_times(self):
+        reg = Registry()
+        with reg.timed("phase.one"):
+            pass
+        seconds, calls = reg.wall_times()["phase.one"]
+        assert calls == 1 and seconds >= 0.0
+
+
+class TestExporters:
+    def test_registry_ndjson_and_csv(self):
+        import json
+
+        reg = Registry()
+        reg.counter("net.frames", layer="radio").inc(5)
+        lines = registry_to_ndjson(reg).splitlines()
+        assert json.loads(lines[0]) == {
+            "name": "net.frames",
+            "labels": {"layer": "radio"},
+            "kind": "counter",
+            "value": 5,
+        }
+        csv_out = registry_to_csv(reg)
+        assert csv_out.startswith("metric,kind,labels,value")
+        assert "net.frames,counter,layer=radio,5" in csv_out
+
+    def test_timeseries_long_format(self):
+        rows = [{"t": 0.5, "a": 1.0, "b": 2.0}]
+        nd = timeseries_to_ndjson(rows).splitlines()
+        assert len(nd) == 2
+        csv_out = timeseries_to_csv(rows)
+        assert csv_out.startswith("t,metric,value")
+        assert "0.500000,a,1" in csv_out
+
+
+class TestDeprecatedShims:
+    """Old counter attributes must stay readable (registry-backed)."""
+
+    def test_kernel_counters_read_through(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.events_dispatched == 1
+        assert sim.events_dispatched == sim.registry.value("kernel.events_dispatched")
+        assert sim.events_skipped == 0
+        assert sim.heap_compactions == 0
+        stats = sim.stats()
+        assert stats["events_dispatched"] == 1 and "heap_size" in stats
+
+    def test_channel_counters_read_through(self):
+        from repro.net.packet import Frame
+        from tests.helpers import line_positions, make_world
+
+        sim, world, channel = make_world(line_positions(4), radio_range=10.0)
+        channel.unicast(Frame(src=0, dst=1, kind="x", payload=None))
+        sim.run(until=1.0)
+        assert channel.frames_sent == 1
+        assert channel.frames_sent == channel.stats()["frames_sent"]
+        assert channel.registry is world.registry is sim.registry
+
+    def test_stats_protocol_everywhere(self):
+        from repro.scenarios import ScenarioConfig, build_scenario
+
+        s = build_scenario(ScenarioConfig(num_nodes=8, duration=30.0, seed=2))
+        s.run()
+        for component in (
+            s.sim,
+            s.world,
+            s.world.energy,
+            s.world.topology,
+            s.channel,
+            s.overlay,
+            s.metrics,
+        ):
+            out = component.stats()
+            assert isinstance(out, dict) and out, type(component).__name__
+        nested = s.stats()
+        assert set(nested) >= {"kernel", "world", "energy", "overlay"}
+        for servent in s.overlay.servents.values():
+            assert isinstance(servent.stats(), dict)
+            assert isinstance(servent.algorithm.stats(), dict)
+
+
+class TestCollectorValidation:
+    def test_count_received_rejects_out_of_range(self):
+        from repro.metrics.collector import MetricsCollector
+
+        mc = MetricsCollector(5)
+        with pytest.raises(IndexError):
+            mc.count_received(-1, "ping")
+        with pytest.raises(IndexError):
+            mc.count_received(5, "ping")
+        mc.count_received(4, "ping")  # boundary ok
+        assert mc.total("ping") == 1
+        # the negative id must NOT have wrapped onto another node
+        assert np.all(mc.family_counts("ping")[:4] == 0)
