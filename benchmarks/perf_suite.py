@@ -1,0 +1,389 @@
+"""Substrate performance suite: the repo's recorded perf trajectory.
+
+Three workload families time the hot per-frame paths the batched fast
+lanes optimize (see docs/PERFORMANCE.md):
+
+* **kernel_throughput** -- raw event dispatch rate (events/sec) of the
+  discrete-event kernel, no network attached;
+* **broadcast_fanout** -- a flood-heavy static MANET (fixed 100 m x
+  100 m area, so density and fan-out grow with n) run on both delivery
+  lanes; the per-lane heap traffic and wall clock quantify the batching
+  win, and the semantic registry snapshots of the two lanes are checked
+  for bit-identity over several seeds;
+* **scenario_e2e** -- fig-7-style end-to-end scenarios (paper density,
+  area scaled with sqrt(n)) at n in {50, 150, 600, 2000}.
+
+:func:`run_suite` produces the versioned ``BENCH_substrate.json``
+document that ``scripts/bench.py`` writes at the repo root; subsequent
+PRs treat those numbers as the baseline to beat.  The document schema is
+validated by :func:`validate_bench_dict` (hand-rolled, like
+``repro.obs.schema`` -- no jsonschema dependency here).
+"""
+
+from __future__ import annotations
+
+import math
+import platform
+import sys
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mobility import Area, Static
+from repro.net import Channel, FloodManager, World
+from repro.obs.compare import semantic_snapshot, snapshot_diff
+from repro.obs.manifest import git_revision
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import run_scenario
+from repro.sim import Simulator
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "bench_kernel_throughput",
+    "bench_broadcast_fanout",
+    "compare_fanout_lanes",
+    "bench_scenario_e2e",
+    "run_suite",
+    "validate_bench_dict",
+]
+
+#: Version of the BENCH_*.json document this module emits.
+BENCH_SCHEMA_VERSION = 1
+
+#: Workload kind recorded in the document (one BENCH file per kind).
+BENCH_KIND = "substrate"
+
+#: Node counts the full suite covers (ISSUE 4 / ROADMAP scale ladder).
+FULL_SIZES = (50, 150, 600, 2000)
+QUICK_SIZES = (50, 150)
+
+#: Seeds the batched-vs-reference identity check runs over.
+EQUIVALENCE_SEEDS = (1, 2, 3)
+
+
+class BenchSchemaError(ValueError):
+    """A bench dict does not conform to the BENCH schema."""
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def bench_kernel_throughput(n_events: int = 100_000) -> Dict[str, Any]:
+    """Dispatch rate of the bare kernel (schedule + run ``n_events``)."""
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731 - the cheapest possible handler
+    t0 = perf_counter()
+    schedule = sim.schedule
+    for i in range(n_events):
+        schedule(float(i % 97) / 97.0, noop)
+    sim.run()
+    wall = perf_counter() - t0
+    return {
+        "name": "kernel_throughput",
+        "params": {"n_events": n_events},
+        "wall_seconds": wall,
+        "events_dispatched": sim.events_dispatched,
+        "events_per_sec": n_events / wall if wall > 0 else float("inf"),
+    }
+
+
+def _fanout_net(n: int, seed: int, batched: bool):
+    """A static, dense-as-n-grows MANET with one flood plane per node."""
+    sim = Simulator()
+    mobility = Static(n, Area(100.0, 100.0), np.random.default_rng(seed))
+    world = World(sim, mobility, topology="sparse" if n >= 400 else "dense")
+    channel = Channel(sim, world, batched=batched)
+    managers = [FloodManager(node, channel, "bench.flood") for node in channel.nodes]
+    return sim, world, channel, managers
+
+
+def bench_broadcast_fanout(
+    n: int,
+    *,
+    rounds: int = 30,
+    nhops: int = 3,
+    seed: int = 1,
+    batched: bool = True,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Flood-heavy broadcast workload on one delivery lane.
+
+    ``rounds`` floods originate from evenly-spread nodes, each fanning
+    out ``nhops`` hops through the controlled-broadcast plane; in the
+    fixed 100 m x 100 m area the radio degree grows linearly with n, so
+    this is exactly the per-receiver-copy regime the batched lane
+    collapses to per-transmission cost.  The workload is deterministic,
+    so with ``repeats`` > 1 only the best wall clock is kept (counters
+    are identical across repeats) -- this filters warmup/GC noise out of
+    the recorded trajectory.
+    """
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        sim, world, channel, managers = _fanout_net(n, seed, batched)
+        stride = max(1, n // rounds)
+        t0 = perf_counter()
+        for r in range(rounds):
+            managers[(r * stride) % n].originate(payload=r, nhops=nhops)
+            sim.run()
+        wall = min(wall, perf_counter() - t0)
+    return {
+        "name": "broadcast_fanout",
+        "params": {
+            "n": n,
+            "rounds": rounds,
+            "nhops": nhops,
+            "seed": seed,
+            "lane": "batched" if batched else "reference",
+        },
+        "wall_seconds": wall,
+        "events_dispatched": sim.events_dispatched,
+        "heap_pushes": sim.heap_pushes,
+        "frames_sent": channel.frames_sent,
+        "frames_delivered": channel.frames_delivered,
+    }
+
+
+def compare_fanout_lanes(
+    n: int,
+    *,
+    rounds: int = 30,
+    nhops: int = 3,
+    seeds: Sequence[int] = EQUIVALENCE_SEEDS,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Before/after record for one fan-out size: reference vs batched.
+
+    Wall clock and heap traffic come from per-lane timed runs (best of
+    ``repeats``); on top of that, both lanes are re-run over ``seeds``
+    and their semantic registry snapshots (scheduler-cost metrics
+    excluded, see ``repro.obs.compare``) must be bit-identical.
+    """
+    reference = bench_broadcast_fanout(
+        n, rounds=rounds, nhops=nhops, batched=False, repeats=repeats
+    )
+    batched = bench_broadcast_fanout(
+        n, rounds=rounds, nhops=nhops, batched=True, repeats=repeats
+    )
+    identical = True
+    checked = []
+    for seed in seeds:
+        snaps = []
+        for lane_batched in (False, True):
+            sim, world, channel, managers = _fanout_net(n, seed, lane_batched)
+            stride = max(1, n // rounds)
+            for r in range(rounds):
+                managers[(r * stride) % n].originate(payload=r, nhops=nhops)
+                sim.run()
+            snaps.append(semantic_snapshot(sim.registry))
+        if snapshot_diff(snaps[0], snaps[1]):
+            identical = False
+        checked.append(int(seed))
+    wall_ref, wall_bat = reference["wall_seconds"], batched["wall_seconds"]
+    return {
+        "name": "broadcast_fanout",
+        "n": n,
+        "reference": reference,
+        "batched": batched,
+        "push_reduction": (
+            reference["heap_pushes"] / batched["heap_pushes"]
+            if batched["heap_pushes"]
+            else float("inf")
+        ),
+        "speedup": wall_ref / wall_bat if wall_bat > 0 else float("inf"),
+        "semantically_identical": identical,
+        "seeds_checked": checked,
+    }
+
+
+def bench_scenario_e2e(
+    n: int,
+    *,
+    duration: float = 30.0,
+    seed: int = 1,
+    batched: bool = True,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Fig-7-style end-to-end scenario (full stack, paper density).
+
+    The area scales with sqrt(n) so the radio degree matches the
+    paper's 50-nodes-on-100 m² setting at every size; ``topology="auto"``
+    picks the sparse backend at large n exactly as production runs do.
+    Scenarios are deterministic, so ``repeats`` > 1 keeps the best wall
+    clock (counters are identical across repeats).
+    """
+    side = 100.0 * math.sqrt(n / 50.0)
+    cfg = ScenarioConfig(
+        num_nodes=n,
+        duration=duration,
+        seed=seed,
+        area_width=side,
+        area_height=side,
+        topology="auto",
+        batched_delivery=batched,
+    )
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        result = run_scenario(cfg)
+        wall = min(wall, perf_counter() - t0)
+    return {
+        "name": "scenario_e2e",
+        "params": {
+            "n": n,
+            "duration": duration,
+            "seed": seed,
+            "lane": "batched" if batched else "reference",
+            "topology": cfg.resolved_topology,
+        },
+        "wall_seconds": wall,
+        "events_dispatched": result.events,
+        "heap_pushes": result.counters.get("kernel.heap_pushes", 0.0),
+        "sim_seconds_per_wall_second": duration / wall if wall > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# the suite
+# ----------------------------------------------------------------------
+def run_suite(
+    *,
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    log=None,
+) -> Dict[str, Any]:
+    """Run every workload and return the BENCH document (JSON-safe).
+
+    ``quick`` shrinks sizes/rounds for CI smoke (record-only, no
+    thresholds); ``sizes`` overrides the node-count ladder; ``log`` is
+    an optional ``print``-like progress callback.
+    """
+    say = log if log is not None else (lambda msg: None)
+    sizes = tuple(sizes) if sizes is not None else (QUICK_SIZES if quick else FULL_SIZES)
+    n_events = 20_000 if quick else 100_000
+    rounds = 10 if quick else 30
+    seeds = EQUIVALENCE_SEEDS[:1] if quick else EQUIVALENCE_SEEDS
+    # Best-of-N timing filters warmup/GC noise out of the full record;
+    # the quick CI smoke is record-only and stays single-shot.
+    repeats = 1 if quick else 3
+
+    results: List[Dict[str, Any]] = []
+    comparisons: List[Dict[str, Any]] = []
+
+    say(f"kernel_throughput: {n_events} events")
+    results.append(bench_kernel_throughput(n_events))
+
+    for n in sizes:
+        say(f"broadcast_fanout: n={n} ({rounds} floods, both lanes)")
+        cmp_ = compare_fanout_lanes(n, rounds=rounds, seeds=seeds, repeats=repeats)
+        results.append(cmp_["reference"])
+        results.append(cmp_["batched"])
+        comparisons.append(
+            {k: v for k, v in cmp_.items() if k not in ("reference", "batched")}
+        )
+
+    for n in sizes:
+        # Sim horizon shrinks as n grows so the full ladder stays minutes,
+        # not hours; events/sec is the comparable figure, not wall total.
+        duration = (10.0 if quick else 30.0) * math.sqrt(50.0 / n)
+        say(f"scenario_e2e: n={n} duration={duration:.1f}s (both lanes)")
+        reference = bench_scenario_e2e(
+            n, duration=duration, batched=False, repeats=repeats
+        )
+        batched = bench_scenario_e2e(n, duration=duration, batched=True, repeats=repeats)
+        results.append(reference)
+        results.append(batched)
+        wall_ref, wall_bat = reference["wall_seconds"], batched["wall_seconds"]
+        comparisons.append(
+            {
+                "name": "scenario_e2e",
+                "n": n,
+                "push_reduction": (
+                    reference["heap_pushes"] / batched["heap_pushes"]
+                    if batched["heap_pushes"]
+                    else float("inf")
+                ),
+                "speedup": wall_ref / wall_bat if wall_bat > 0 else float("inf"),
+            }
+        )
+
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "quick": bool(quick),
+        "sizes": [int(n) for n in sizes],
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "git_revision": git_revision(),
+        "results": results,
+        "comparisons": comparisons,
+    }
+    validate_bench_dict(doc)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def _fail(path: str, msg: str) -> None:
+    raise BenchSchemaError(f"{path}: {msg}")
+
+
+def _number(value: Any, path: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected a number, got {type(value).__name__}")
+
+
+def validate_bench_dict(d: Dict[str, Any], *, path: str = "bench") -> None:
+    """Raise :class:`BenchSchemaError` unless ``d`` is a valid document."""
+    if not isinstance(d, dict):
+        _fail(path, f"expected dict, got {type(d).__name__}")
+    if d.get("schema_version") != BENCH_SCHEMA_VERSION:
+        _fail(f"{path}.schema_version", f"unsupported {d.get('schema_version')!r}")
+    if d.get("kind") != BENCH_KIND:
+        _fail(f"{path}.kind", f"expected {BENCH_KIND!r}, got {d.get('kind')!r}")
+    if not isinstance(d.get("quick"), bool):
+        _fail(f"{path}.quick", "expected bool")
+    host = d.get("host")
+    if not isinstance(host, dict) or not all(
+        isinstance(host.get(k), str) for k in ("platform", "python", "numpy")
+    ):
+        _fail(f"{path}.host", "expected dict with platform/python/numpy strings")
+    results = d.get("results")
+    if not isinstance(results, list) or not results:
+        _fail(f"{path}.results", "expected a non-empty list")
+    for i, r in enumerate(results):
+        rpath = f"{path}.results[{i}]"
+        if not isinstance(r, dict):
+            _fail(rpath, "expected dict")
+        if not isinstance(r.get("name"), str):
+            _fail(f"{rpath}.name", "expected str")
+        if not isinstance(r.get("params"), dict):
+            _fail(f"{rpath}.params", "expected dict")
+        _number(r.get("wall_seconds"), f"{rpath}.wall_seconds")
+        if r["wall_seconds"] < 0:
+            _fail(f"{rpath}.wall_seconds", "must be >= 0")
+        for key, value in r.items():
+            if key in ("name", "params"):
+                continue
+            _number(value, f"{rpath}.{key}")
+    comparisons = d.get("comparisons")
+    if not isinstance(comparisons, list):
+        _fail(f"{path}.comparisons", "expected a list")
+    for i, c in enumerate(comparisons):
+        cpath = f"{path}.comparisons[{i}]"
+        if not isinstance(c, dict):
+            _fail(cpath, "expected dict")
+        if not isinstance(c.get("name"), str):
+            _fail(f"{cpath}.name", "expected str")
+        _number(c.get("n"), f"{cpath}.n")
+        _number(c.get("push_reduction"), f"{cpath}.push_reduction")
+        _number(c.get("speedup"), f"{cpath}.speedup")
+        if "semantically_identical" in c and not isinstance(
+            c["semantically_identical"], bool
+        ):
+            _fail(f"{cpath}.semantically_identical", "expected bool")

@@ -68,3 +68,31 @@ def test_kernel_event_throughput(benchmark):
 
     n = benchmark(dispatch_10k)
     assert n == 10_000
+
+
+def _flood_round(batched):
+    from repro.mobility import Static
+    from repro.net import Channel, FloodManager
+
+    sim = Simulator()
+    mobility = Static(150, Area(100, 100), np.random.default_rng(1))
+    world = World(sim, mobility)
+    channel = Channel(sim, world, batched=batched)
+    managers = [FloodManager(i, channel, "bench.flood") for i in channel.nodes]
+    for origin in range(0, 150, 15):
+        managers[origin].originate(payload=origin, nhops=3)
+        sim.run()
+    return sim
+
+
+def test_broadcast_fanout_reference(benchmark):
+    sim = benchmark(lambda: _flood_round(batched=False))
+    assert sim.events_dispatched > 0
+
+
+def test_broadcast_fanout_batched(benchmark):
+    # Same floods on the batched fast lane: identical events_dispatched,
+    # far fewer heap pushes (the quantity scripts/bench.py tracks).
+    sim = benchmark(lambda: _flood_round(batched=True))
+    assert sim.events_dispatched == _flood_round(batched=False).events_dispatched
+    assert sim.heap_pushes < _flood_round(batched=False).heap_pushes

@@ -113,6 +113,7 @@ def run_sweep(
     *,
     reps: int = 1,
     processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
     store=None,
 ) -> List[SweepPointResult]:
     """Run the grid defined by ``specs`` on top of ``base``.
@@ -129,6 +130,12 @@ def run_sweep(
         If given and > 1, distribute points over worker processes; each
         point is an independent, deterministic simulation so results are
         identical to the serial run.
+    chunksize:
+        Grid points submitted to each worker per round trip.  Defaults
+        to ``ceil(len(grid) / (4 * processes))`` (capped at 32) so large
+        grids of small points amortize pickling instead of shipping
+        one-at-a-time, while keeping ~4 rounds per worker for load
+        balance.  Results come back in grid order either way.
     store:
         Optional :class:`~repro.experiments.storage.ResultStore`; each
         point result is appended as a ``sweep_point`` record (from the
@@ -139,8 +146,12 @@ def run_sweep(
     grid = sweep_grid(specs)
     jobs = [(base, overrides, reps) for overrides in grid]
     if processes is not None and processes > 1:
+        if chunksize is None:
+            chunksize = min(32, -(-len(jobs) // (4 * processes)))
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            results = list(pool.map(_run_point, jobs))
+            results = list(pool.map(_run_point, jobs, chunksize=chunksize))
     else:
         results = [_run_point(job) for job in jobs]
     if store is not None:

@@ -145,7 +145,7 @@ class FloodManager:
         self._seen[fid] = None
         if len(self._seen) > self.seen_limit:
             self._seen.popitem(last=False)
-            self._c_evictions.value += 1
+            self._c_evictions.inc()
 
     # ------------------------------------------------------------------
     def originate(self, payload: Any, nhops: int, size: int = DEFAULT_FRAME_BYTES) -> FloodId:
@@ -158,7 +158,7 @@ class FloodManager:
             raise ValueError(f"nhops must be >= 1, got {nhops}")
         fid = (self.node.nid, self._seq)
         self._seq += 1
-        self._c_originated.value += 1
+        self._c_originated.inc()
         self._remember(fid)  # the origin never re-forwards its own flood
         msg = FloodMessage(fid=fid, origin=self.node.nid, hops=0, budget=int(nhops), payload=payload)
         self.channel.broadcast(
@@ -170,7 +170,7 @@ class FloodManager:
     def _on_frame(self, frame: Frame) -> None:
         msg: FloodMessage = frame.payload
         if msg.fid in self._seen:
-            self._c_duplicates.value += 1
+            self._c_duplicates.inc()
             if self.count_duplicate is not None:
                 self.count_duplicate(msg.origin, msg.payload)
             return
@@ -180,7 +180,7 @@ class FloodManager:
             self.deliver(msg.origin, msg.payload, hops_here)
         remaining = msg.budget - 1
         if remaining > 0:
-            self._c_forwarded.value += 1
+            self._c_forwarded.inc()
             fwd = FloodMessage(
                 fid=msg.fid,
                 origin=msg.origin,

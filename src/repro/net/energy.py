@@ -16,9 +16,22 @@ but the defaults are in the right ballpark for early-2000s 802.11 radios
 Nodes may be given a finite ``capacity``; once it is exhausted the node
 is *depleted* and the world stops delivering to/from it.  This powers
 the churn/lifetime extension experiments (§8 future work).
+
+Hot-path contract
+-----------------
+Liveness queries run once per frame copy, so they must not touch numpy
+scalars.  The ledger detects capacity crossings *at charge time* and
+maintains a plain-Python set of depleted node ids: :meth:`alive` is a
+set lookup, and :meth:`poll_depleted` hands the world only the nodes
+that crossed since the last poll -- a no-op for infinite-capacity runs
+and O(changed) otherwise.  ``consumed`` must therefore only be mutated
+through ``charge_tx`` / ``charge_rx`` (or followed by :meth:`resync`).
 """
 
 from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,17 +75,70 @@ class EnergyModel:
         self.consumed = np.zeros(self.n)
         self.tx_count = np.zeros(self.n, dtype=np.int64)
         self.rx_count = np.zeros(self.n, dtype=np.int64)
+        #: whether depletion can happen at all (skips every threshold check)
+        self.finite = math.isfinite(self.capacity)
+        # Incremental depletion state: ids that crossed the threshold,
+        # and the subset not yet handed out by poll_depleted().
+        self._depleted_ids: set = set()
+        self._newly_depleted: List[int] = []
+        #: immediate threshold-crossing hook (the world points this at
+        #: its up-set so ``is_up`` flips the instant a charge drains a
+        #: node, matching the pre-incremental live-read semantics)
+        self.on_depleted: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     def charge_tx(self, node: int, size: int) -> None:
         """Charge ``node`` for transmitting ``size`` bytes."""
         self.consumed[node] += self.tx_fixed + self.tx_per_byte * size
         self.tx_count[node] += 1
+        if self.finite and self.consumed[node] >= self.capacity:
+            self._mark_depleted(node)
 
     def charge_rx(self, node: int, size: int) -> None:
         """Charge ``node`` for receiving ``size`` bytes."""
         self.consumed[node] += self.rx_fixed + self.rx_per_byte * size
         self.rx_count[node] += 1
+        if self.finite and self.consumed[node] >= self.capacity:
+            self._mark_depleted(node)
+
+    def _mark_depleted(self, node: int) -> None:
+        node = int(node)
+        if node not in self._depleted_ids:
+            self._depleted_ids.add(node)
+            self._newly_depleted.append(node)
+            if self.on_depleted is not None:
+                self.on_depleted(node)
+
+    # ------------------------------------------------------------------
+    def poll_depleted(self) -> Tuple[int, ...]:
+        """Nodes that crossed the capacity threshold since the last poll.
+
+        O(1) when nothing changed (the common case, and always for
+        infinite capacity); O(changed) otherwise.  The world drains this
+        after charging to keep its up-set current.
+        """
+        if not self._newly_depleted:
+            return ()
+        out = tuple(self._newly_depleted)
+        self._newly_depleted.clear()
+        return out
+
+    def resync(self) -> Tuple[int, ...]:
+        """Rebuild the depletion set from ``consumed`` (after bulk edits).
+
+        Returns the newly discovered depleted nodes; they are also
+        queued for the next :meth:`poll_depleted`.
+        """
+        if not self.finite:
+            return ()
+        found = [
+            int(i)
+            for i in np.flatnonzero(self.consumed >= self.capacity)
+            if int(i) not in self._depleted_ids
+        ]
+        for i in found:
+            self._mark_depleted(i)
+        return tuple(found)
 
     # ------------------------------------------------------------------
     def remaining(self, node: int) -> float:
@@ -84,8 +150,12 @@ class EnergyModel:
         return self.consumed >= self.capacity
 
     def alive(self, node: int) -> bool:
-        """Whether ``node`` still has energy to participate."""
-        return float(self.consumed[node]) < self.capacity
+        """Whether ``node`` still has energy to participate.
+
+        O(1): no numpy scalar coercion -- a flag check for infinite
+        capacity, a set lookup otherwise.
+        """
+        return not self.finite or node not in self._depleted_ids
 
     def total_consumed(self) -> float:
         """Network-wide consumed energy (joules)."""

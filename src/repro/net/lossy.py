@@ -94,7 +94,7 @@ class LossyChannel(Channel):
             return True
         if self._rng.random() < p:
             return True
-        self._c_losses.value += 1
+        self._c_losses.inc()
         return False
 
     # ------------------------------------------------------------------
@@ -104,7 +104,7 @@ class LossyChannel(Channel):
         if not self.world.is_up(frame.src):
             return False
         self.world.energy.charge_tx(frame.src, frame.size)
-        self._c_sent.value += 1
+        self._c_sent.inc()
         ok = (
             self.world.link(frame.src, frame.dst)
             and self.world.is_up(frame.dst)
@@ -116,15 +116,32 @@ class LossyChannel(Channel):
         return ok
 
     def broadcast(self, frame: Frame) -> int:
-        if not self.world.is_up(frame.src):
+        # Loss draws happen at SEND time in ascending-nid order on both
+        # lanes, so the RNG stream is consumed identically whether the
+        # surviving receiver set then rides one batch event or one event
+        # per copy.
+        world = self.world
+        src = frame.src
+        if not world.is_up(src):
             return 0
-        self.world.energy.charge_tx(frame.src, frame.size)
-        self._c_sent.value += 1
-        count = 0
-        for dst in self.world.neighbors(frame.src):
-            dst = int(dst)
-            if self.world.is_up(dst) and self._accept(frame.src, dst):
-                self.sim.schedule(self.latency, self._deliver, dst, frame)
-                count += 1
-        self.world.check_depletion()
-        return count
+        world.energy.charge_tx(src, frame.size)
+        self._c_sent.inc()
+        receivers = [
+            dst
+            for dst in map(int, world.neighbors(src))
+            if world.is_up(dst) and self._accept(src, dst)
+        ]
+        if receivers:
+            if self.batched and len(receivers) > 1:
+                self.sim.schedule(
+                    self.latency,
+                    self._deliver_batch,
+                    tuple(receivers),
+                    frame,
+                    weight=len(receivers),
+                )
+            else:
+                for dst in receivers:
+                    self.sim.schedule(self.latency, self._deliver, dst, frame)
+        world.check_depletion()
+        return len(receivers)

@@ -155,9 +155,9 @@ class CsmaChannel(Channel):
             return
         if self._channel_busy(frame.src):
             if attempt >= self.max_retries:
-                self._c_drops.value += 1
+                self._c_drops.inc()
                 return
-            self._c_backoffs.value += 1
+            self._c_backoffs.inc()
             backoff = (1 + int(self._rng.integers(self.max_backoff_slots))) * self.slot
             self.sim.schedule(backoff, self._try_send, frame, attempt + 1)
             return
@@ -170,31 +170,52 @@ class CsmaChannel(Channel):
         self._tx_until[frame.src] = end
         self._h_airtime.observe(duration)
         self.world.energy.charge_tx(frame.src, frame.size)
-        self._c_sent.value += 1
+        self._c_sent.inc()
+        is_up = self.world.is_up
         if frame.dst == BROADCAST:
-            receivers = [
-                int(d) for d in self.world.neighbors(frame.src) if self.world.is_up(int(d))
-            ]
+            receivers = [d for d in map(int, self.world.neighbors(frame.src)) if is_up(d)]
         else:
             receivers = (
                 [frame.dst]
-                if self.world.link(frame.src, frame.dst) and self.world.is_up(frame.dst)
+                if self.world.link(frame.src, frame.dst) and is_up(frame.dst)
                 else []
             )
-        for dst in receivers:
-            self._register_arrival(dst, now, end, frame)
+        # All copies of one transmission complete at the same instant, so
+        # the surviving registrations can share ONE completion event
+        # (ascending-nid order == the reference's consecutive-seq order).
+        registered = [
+            dst for dst in receivers if self._register_arrival(dst, now, end, frame)
+        ]
+        if registered:
+            if self.batched and len(registered) > 1:
+                self.sim.schedule(
+                    end - now,
+                    self._complete_arrivals,
+                    tuple(registered),
+                    now,
+                    end,
+                    weight=len(registered),
+                )
+            else:
+                for dst in registered:
+                    self.sim.schedule(end - now, self._complete_arrival, dst, now, end)
 
-    def _register_arrival(self, dst: int, start: float, end: float, frame: Frame) -> None:
+    def _register_arrival(self, dst: int, start: float, end: float, frame: Frame) -> bool:
+        """Record an in-flight copy; returns False if it collided."""
         queue = self._arrivals.setdefault(dst, [])
         # Receiver-side collision: overlap with any in-flight arrival
         # destroys both copies (no capture).
         for i, (s, e, other) in enumerate(queue):
             if s < end and start < e and e > self.sim.now:
                 queue[i] = (s, e, None)  # poison the other copy
-                self._c_collisions.value += 1
-                return  # this copy dies too (not registered)
+                self._c_collisions.inc()
+                return False  # this copy dies too (not registered)
         queue.append((start, end, frame))
-        self.sim.schedule(end - self.sim.now, self._complete_arrival, dst, start, end)
+        return True
+
+    def _complete_arrivals(self, dsts: tuple, start: float, end: float) -> None:
+        for dst in dsts:
+            self._complete_arrival(dst, start, end)
 
     def _complete_arrival(self, dst: int, start: float, end: float) -> None:
         queue = self._arrivals.get(dst, [])

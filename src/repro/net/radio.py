@@ -73,6 +73,14 @@ class Channel:
     on_deliver:
         Optional observer called as ``on_deliver(node_id, frame)`` for
         every delivered frame -- the metrics layer hooks in here.
+    batched:
+        When True (default), a broadcast schedules ONE kernel event
+        carrying the frozen receiver list instead of one event per
+        receiver; the batch dispatches copies in ascending-nid order, so
+        every delivery, energy charge, RNG draw and counter update
+        happens in exactly the order the per-receiver reference produces
+        (see DESIGN.md §5 for the equivalence argument).  ``False``
+        keeps the per-receiver reference path for A/B tests.
     registry:
         Observability registry for the channel counters; a private one
         is created when not supplied.
@@ -88,6 +96,7 @@ class Channel:
         *,
         latency: float = DEFAULT_LATENCY,
         on_deliver: Optional[Callable[[int, Frame], None]] = None,
+        batched: bool = True,
         registry: Optional[Registry] = None,
     ) -> None:
         if latency < 0:
@@ -96,6 +105,7 @@ class Channel:
         self.world = world
         self.latency = float(latency)
         self.on_deliver = on_deliver
+        self.batched = bool(batched)
         self.nodes: List[NetNode] = [NetNode(i, self) for i in range(world.n)]
         if registry is None:
             registry = getattr(world, "registry", None)
@@ -140,7 +150,7 @@ class Channel:
         if not self.world.is_up(src):
             return False
         self.world.energy.charge_tx(src, frame.size)
-        self._c_sent.value += 1
+        self._c_sent.inc()
         ok = self.world.link(src, dst) and self.world.is_up(dst)
         if ok:
             self.sim.schedule(self.latency, self._deliver, dst, frame)
@@ -148,29 +158,58 @@ class Channel:
         return ok
 
     def broadcast(self, frame: Frame) -> int:
-        """Send ``frame`` to every node in range; returns receiver count."""
+        """Send ``frame`` to every node in range; returns receiver count.
+
+        The receiver set (up neighbors, ascending nid) is frozen at send
+        time.  On the batched fast lane the whole set rides ONE kernel
+        event (``weight=len(receivers)`` keeps ``events_dispatched``
+        comparable); the reference lane schedules one event per receiver.
+        Per-copy semantics -- the liveness re-check, energy charge and
+        depletion check at delivery time -- are identical on both lanes
+        because the batch dispatches through the same :meth:`_deliver`.
+        """
+        world = self.world
         src = frame.src
-        if not self.world.is_up(src):
+        if not world.is_up(src):
             return 0
-        self.world.energy.charge_tx(src, frame.size)
-        self._c_sent.value += 1
-        receivers = self.world.neighbors(src)
-        count = 0
-        for dst in receivers:
-            dst = int(dst)
-            if self.world.is_up(dst):
-                self.sim.schedule(self.latency, self._deliver, dst, frame)
-                count += 1
-        self.world.check_depletion()
-        return count
+        world.energy.charge_tx(src, frame.size)
+        self._c_sent.inc()
+        is_up = world.is_up
+        receivers = [dst for dst in map(int, world.neighbors(src)) if is_up(dst)]
+        if receivers:
+            if self.batched and len(receivers) > 1:
+                self.sim.schedule(
+                    self.latency,
+                    self._deliver_batch,
+                    tuple(receivers),
+                    frame,
+                    weight=len(receivers),
+                )
+            else:
+                schedule = self.sim.schedule
+                for dst in receivers:
+                    schedule(self.latency, self._deliver, dst, frame)
+        world.check_depletion()
+        return len(receivers)
 
     # ------------------------------------------------------------------
+    def _deliver_batch(self, receivers: tuple, frame: Frame) -> None:
+        # One kernel event, k logical deliveries.  Copies land in
+        # ascending-nid order -- the exact order the reference lane's
+        # consecutive-seq events dispatch in -- and each copy runs the
+        # full per-receiver protocol (liveness re-check, rx charge,
+        # depletion check), so a receiver depleting mid-batch silences
+        # later copies exactly as it would per-event.
+        deliver = self._deliver
+        for dst in receivers:
+            deliver(dst, frame)
+
     def _deliver(self, dst: int, frame: Frame) -> None:
         # Re-check liveness at delivery time (node may have died in flight).
         if not self.world.is_up(dst):
             return
         self.world.energy.charge_rx(dst, frame.size)
-        self._c_delivered.value += 1
+        self._c_delivered.inc()
         if self.on_deliver is not None:
             self.on_deliver(dst, frame)
         self.nodes[dst].on_frame(frame)

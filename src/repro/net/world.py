@@ -107,6 +107,15 @@ class World:
         self._pos: np.ndarray = np.empty((self.n, 2))
         #: nodes administratively removed (churn experiments)
         self._down = np.zeros(self.n, dtype=bool)
+        #: incremental up-set: ids that are neither down nor depleted.
+        #: is_up() is a plain set lookup (no per-call numpy coercion);
+        #: set_down() and check_depletion() keep it current.
+        self._up_ids: set = set(range(self.n)) - {
+            int(i) for i in np.flatnonzero(self.energy.depleted())
+        }
+        # A charge that drains a node flips is_up immediately (the
+        # pre-incremental semantics read the ledger live on every call).
+        self.energy.on_depleted = self._up_ids.discard
         #: the pluggable connectivity backend
         self.topology: TopologyBackend = make_topology(
             topology, self, dist_cache_size=dist_cache_size
@@ -179,20 +188,43 @@ class World:
     # churn / energy
     # ------------------------------------------------------------------
     def is_up(self, i: int) -> bool:
-        """A node is up if not administratively down and not depleted."""
-        return (not bool(self._down[i])) and self.energy.alive(i)
+        """A node is up if not administratively down and not depleted.
+
+        O(1) set lookup on the incrementally-maintained up-set -- this
+        runs once per frame copy, so it must not touch numpy scalars.
+        """
+        return i in self._up_ids
+
+    def up_ids(self) -> frozenset:
+        """The current up-set (ids neither down nor depleted), frozen."""
+        return frozenset(self._up_ids)
 
     def set_down(self, i: int, down: bool = True) -> None:
         """Administratively kill (or revive) a node; invalidates caches."""
+        i = int(i)
         self._down[i] = down
+        if down:
+            self._up_ids.discard(i)
+        elif self.energy.alive(i):
+            # Revival only brings a node back if its battery isn't drained.
+            self._up_ids.add(i)
         self.topology.invalidate()
 
     def check_depletion(self) -> None:
-        """Mark energy-depleted nodes as down (call after charging)."""
-        dead = self.energy.depleted() & ~self._down
-        if dead.any():
-            for i in np.flatnonzero(dead):
-                self.set_down(int(i))
+        """Mark energy-depleted nodes as down (call after charging).
+
+        O(1) when nothing crossed the capacity threshold (always, for
+        infinite-capacity runs) and O(changed) otherwise: the energy
+        ledger records threshold crossings at charge time and this drains
+        them.
+        """
+        for i in self.energy.poll_depleted():
+            if not self._down[i]:
+                self.set_down(i)
+            else:
+                # Already administratively down: just ensure it cannot
+                # come back up while depleted.
+                self._up_ids.discard(i)
 
     # ------------------------------------------------------------------
     # observability

@@ -12,13 +12,24 @@ One surface for everything a run can tell you about itself:
   revision, wall clock, peak counters);
 * ND-JSON / CSV exporters in the :mod:`repro.sim.trace` style;
 * the versioned run-result schema (:data:`RUN_SCHEMA_VERSION`,
-  :func:`validate_run_dict`) consumed by storage, sweeps and the CLI.
+  :func:`validate_run_dict`) consumed by storage, sweeps and the CLI;
+* semantic A/B comparison (:func:`semantic_snapshot`,
+  :func:`snapshot_diff`) -- registry equality modulo scheduler-cost
+  metrics, the contract the batched-delivery fast lane is proven
+  against.
 
 Components expose a uniform ``stats() -> dict`` protocol (flat dict of
 numbers); :func:`timed` adds wall-clock section timing for the
 ``run --stats`` breakdown.
 """
 
+from .compare import (
+    SCHEDULER_COST_METRICS,
+    is_scheduler_cost_key,
+    semantic_snapshot,
+    semantic_timeseries,
+    snapshot_diff,
+)
 from .export import (
     registry_to_csv,
     registry_to_ndjson,
@@ -61,4 +72,9 @@ __all__ = [
     "RUN_SCHEMA_VERSION",
     "SchemaError",
     "validate_run_dict",
+    "SCHEDULER_COST_METRICS",
+    "is_scheduler_cost_key",
+    "semantic_snapshot",
+    "semantic_timeseries",
+    "snapshot_diff",
 ]

@@ -1,0 +1,94 @@
+"""Semantic registry comparison for A/B equivalence proofs.
+
+The batched-delivery fast lane (``Channel(batched=True)``) must be
+*semantically* bit-identical to the per-receiver reference lane: every
+frame copy, energy charge, RNG draw, protocol counter and sampled
+time-series row agrees exactly.  What legitimately differs is the
+*scheduler cost* of producing that behaviour -- how many entries went
+through the kernel heap, how long the heap was at a sample instant, how
+often it compacted.  Those metrics are the optimization target, not the
+simulation.
+
+This module draws that line in one place: :data:`SCHEDULER_COST_METRICS`
+names the kernel-cost metric families, :func:`semantic_snapshot` returns
+a registry snapshot with them removed, and :func:`semantic_timeseries`
+does the same for sampler rows.  The equivalence tests
+(``tests/test_batched_equivalence.py``), the bench harness and DESIGN.md
+§5 all reference this definition.
+
+Note that ``kernel.events_dispatched`` is deliberately *semantic*: a
+batch event carries ``weight=k``, so logical event counts match the
+reference schedule exactly and stay comparable across archived runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .registry import Registry
+
+__all__ = [
+    "SCHEDULER_COST_METRICS",
+    "is_scheduler_cost_key",
+    "semantic_snapshot",
+    "semantic_timeseries",
+    "snapshot_diff",
+]
+
+#: Metric names that measure how hard the scheduler worked rather than
+#: what the simulation did.  Everything else in the registry must be
+#: bit-identical between the batched and reference delivery lanes.
+SCHEDULER_COST_METRICS: Tuple[str, ...] = (
+    "kernel.heap",
+    "kernel.heap_pushes",
+    "kernel.heap_compactions",
+    "kernel.events_skipped",
+)
+
+
+def is_scheduler_cost_key(key: str) -> bool:
+    """Whether a flattened ``name{labels}`` key is a scheduler-cost metric."""
+    name = key.split("{", 1)[0]
+    return name in SCHEDULER_COST_METRICS
+
+
+def semantic_snapshot(
+    registry: Registry, *, drop_labels: Tuple[str, ...] = ("node",)
+) -> Dict[str, float]:
+    """Aggregated registry snapshot with scheduler-cost metrics removed.
+
+    Wall-clock timers are also excluded (they measure the host, not the
+    run).  Two runs of the same seeded scenario on different delivery
+    lanes must produce equal dicts.
+    """
+    return {
+        k: v
+        for k, v in registry.aggregated(
+            drop_labels=drop_labels, skip_kinds=("timer",)
+        ).items()
+        if not is_scheduler_cost_key(k)
+    }
+
+
+def semantic_timeseries(rows: Iterable[Dict[str, float]]) -> List[Dict[str, float]]:
+    """Sampler rows with scheduler-cost columns removed (same contract)."""
+    return [
+        {k: v for k, v in row.items() if not is_scheduler_cost_key(k)} for row in rows
+    ]
+
+
+def snapshot_diff(
+    a: Dict[str, float], b: Dict[str, float]
+) -> Dict[str, Tuple[object, object]]:
+    """``{key: (a_value, b_value)}`` for every key where the dicts differ.
+
+    Missing keys appear with ``None`` on the absent side.  Empty dict
+    means the snapshots are bit-identical -- the assertion the
+    equivalence tests and the bench harness make.
+    """
+    out: Dict[str, Tuple[object, object]] = {}
+    for k in sorted(set(a) | set(b)):
+        va, vb = a.get(k), b.get(k)
+        if va != vb:
+            out[k] = (va, vb)
+    return out

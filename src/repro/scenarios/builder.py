@@ -126,13 +126,13 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
     if cfg.mac == "csma":
         from ..net.mac import CsmaChannel
 
-        channel = CsmaChannel(sim, world, seed=cfg.seed)
+        channel = CsmaChannel(sim, world, seed=cfg.seed, batched=cfg.batched_delivery)
     elif cfg.mac == "lossy":
         from ..net.lossy import LossyChannel
 
-        channel = LossyChannel(sim, world, seed=cfg.seed)
+        channel = LossyChannel(sim, world, seed=cfg.seed, batched=cfg.batched_delivery)
     else:
-        channel = Channel(sim, world)
+        channel = Channel(sim, world, batched=cfg.batched_delivery)
     router: Router
     if cfg.routing == "aodv":
         router = AodvRouter(sim, channel)

@@ -77,6 +77,11 @@ class ScenarioConfig:
     topology: str = "dense"
     #: whether the query plane runs (off for pure-reconfiguration studies)
     queries: bool = True
+    #: batched broadcast delivery (one kernel event per transmission
+    #: instead of one per receiver copy).  Semantically bit-identical to
+    #: the per-receiver reference (tests/test_batched_equivalence.py);
+    #: False keeps the reference lane for A/B comparison.
+    batched_delivery: bool = True
     #: sim-time interval between observability samples; 0 disables the
     #: sampler (counters still accumulate, no time series is recorded)
     obs_interval: float = 0.0

@@ -57,6 +57,17 @@ class Event:
         Observation-plane flag.  Daemon events (metric samplers) are
         dispatched normally but excluded from ``events_dispatched``, so
         instrumented runs report identical event counts to bare ones.
+    weight:
+        Number of *logical* events this heap entry stands for.  Batched
+        deliveries (one heap entry fanning a broadcast out to k
+        receivers) carry ``weight=k`` so ``events_dispatched`` stays
+        bit-identical to the unbatched reference schedule while the heap
+        does 1/k of the work.
+    done:
+        Set by the kernel once the entry has left the heap (dispatched
+        or skipped).  Guards :meth:`cancel` so cancelling an
+        already-fired handle (timeout races do this) cannot corrupt the
+        kernel's incremental live-event accounting.
     owner:
         The scheduler that queued this event, if any.  Cancellation
         notifies it so it can track dead weight on the heap and compact
@@ -70,11 +81,17 @@ class Event:
     args: tuple = field(default=())
     cancelled: bool = False
     daemon: bool = False
+    weight: int = 1
+    done: bool = field(default=False, compare=False)
     owner: Any = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
-        """Mark this event so the kernel skips it when popped."""
-        if self.cancelled:
+        """Mark this event so the kernel skips it when popped.
+
+        A no-op once the event has already fired or been skipped: the
+        handle is then off the heap and there is nothing to revoke.
+        """
+        if self.cancelled or self.done:
             return
         self.cancelled = True
         if self.owner is not None:

@@ -14,6 +14,14 @@ Design notes
   heap on long runs, the kernel counts dead entries and *compacts* (one
   O(live) filter + heapify) whenever cancelled events outnumber live
   ones; ``events_skipped`` and ``heap_compactions`` expose the cost.
+* The live-event count is maintained incrementally (+1 on schedule, -1
+  on dispatch or cancel), so ``pending()`` / ``len(sim)`` / the obs
+  sampler's snapshots are O(1) instead of an O(heap) scan per call.
+* An event may carry ``weight=k``: one heap entry standing for k logical
+  events (batched broadcast delivery).  Dispatch counts the weight, so
+  ``events_dispatched`` is comparable across batched and unbatched
+  schedules; ``heap_pushes`` counts raw heap traffic and shows the
+  batching win.
 * The kernel never advances past ``run(until=...)``; events beyond the
   horizon stay queued, which lets callers resume the same simulation
   (``run`` may be called repeatedly with increasing horizons).
@@ -77,9 +85,13 @@ class Simulator:
         self._c_skipped = self.registry.counter("kernel.events_skipped")
         self._c_compactions = self.registry.counter("kernel.heap_compactions")
         self._c_daemon = self.registry.counter("kernel.events_daemon")
+        self._c_pushes = self.registry.counter("kernel.heap_pushes")
         self.registry.gauge("kernel.heap", fn=lambda: float(len(self._heap)))
         #: cancelled events currently sitting on the heap
         self._cancelled_pending = 0
+        #: live (scheduled, not yet dispatched or cancelled) events;
+        #: maintained incrementally so pending() is O(1)
+        self._live = 0
 
     # ------------------------------------------------------------------
     # observability
@@ -108,6 +120,11 @@ class Simulator:
         """Raw heap length including cancelled entries (sampling gauge)."""
         return len(self._heap)
 
+    @property
+    def heap_pushes(self) -> int:
+        """Heap entries pushed (deprecated view of ``kernel.heap_pushes``)."""
+        return self._c_pushes.value
+
     def stats(self) -> Dict[str, float]:
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
         return {
@@ -115,6 +132,7 @@ class Simulator:
             "events_skipped": self._c_skipped.value,
             "events_daemon": self._c_daemon.value,
             "heap_compactions": self._c_compactions.value,
+            "heap_pushes": self._c_pushes.value,
             "heap_size": len(self._heap),
             "pending": self.pending(),
             "now": self._now,
@@ -138,18 +156,20 @@ class Simulator:
         *args: Any,
         priority: int = Priority.NORMAL,
         daemon: bool = False,
+        weight: int = 1,
     ) -> Event:
         """Schedule ``fn(*args)`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, whose :meth:`~Event.cancel` method
         revokes it.  ``delay`` must be non-negative.  ``daemon`` events
         (observation plane) dispatch normally but are excluded from
-        ``events_dispatched``.
+        ``events_dispatched``.  ``weight`` is the number of logical
+        events this entry stands for (batched delivery).
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule_at(
-            self._now + delay, fn, *args, priority=priority, daemon=daemon
+            self._now + delay, fn, *args, priority=priority, daemon=daemon, weight=weight
         )
 
     def schedule_at(
@@ -159,12 +179,15 @@ class Simulator:
         *args: Any,
         priority: int = Priority.NORMAL,
         daemon: bool = False,
+        weight: int = 1,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock is already at {self._now!r}"
             )
+        if weight < 1:
+            raise SimulationError(f"weight must be >= 1, got {weight!r}")
         ev = Event(
             time=float(time),
             priority=int(priority),
@@ -172,10 +195,13 @@ class Simulator:
             fn=fn,
             args=args,
             daemon=daemon,
+            weight=weight,
             owner=self,
         )
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._c_pushes.value += 1
+        self._live += 1
         return ev
 
     # ------------------------------------------------------------------
@@ -184,6 +210,7 @@ class Simulator:
     def _note_cancel(self) -> None:
         """Called by :meth:`Event.cancel`; compacts when dead weight wins."""
         self._cancelled_pending += 1
+        self._live -= 1
         if (
             len(self._heap) >= MIN_COMPACT_SIZE
             and self._cancelled_pending * 2 > len(self._heap)
@@ -217,15 +244,18 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                ev.done = True
                 self._c_skipped.value += 1
                 if self._cancelled_pending:
                     self._cancelled_pending -= 1
                 continue
             self._now = ev.time
+            ev.done = True
+            self._live -= 1
             if ev.daemon:
-                self._c_daemon.value += 1
+                self._c_daemon.inc(ev.weight)
             else:
-                self._c_dispatched.value += 1
+                self._c_dispatched.inc(ev.weight)
             ev.fn(*ev.args)
             return ev
         return None
@@ -233,7 +263,7 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if queue is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).done = True
             self._c_skipped.value += 1
             if self._cancelled_pending:
                 self._cancelled_pending -= 1
@@ -281,7 +311,16 @@ class Simulator:
     # introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): the count is maintained incrementally on schedule,
+        dispatch and cancel (see :meth:`_brute_pending` for the
+        reference O(heap) scan the kernel tests check against).
+        """
+        return self._live
+
+    def _brute_pending(self) -> int:
+        """O(heap) reference count of live queued events (tests only)."""
         return sum(1 for ev in self._heap if not ev.cancelled)
 
     def __len__(self) -> int:

@@ -147,3 +147,88 @@ class TestChurn:
         assert world.is_up(0)
         world.energy.charge_tx(0, 10_000)  # huge frame: drains battery
         assert not world.is_up(0)
+
+
+class TestLivenessFastPath:
+    """The incremental up-set must mirror the reference definition
+    (not administratively down, not depleted) through every transition."""
+
+    def test_up_ids_initial(self):
+        _, world, _ = make_world(line_positions(3, spacing=8.0))
+        assert world.up_ids() == frozenset({0, 1, 2})
+
+    def test_up_ids_tracks_set_down(self):
+        _, world, _ = make_world(line_positions(3, spacing=8.0))
+        world.set_down(1)
+        assert world.up_ids() == frozenset({0, 2})
+        world.set_down(1, down=False)
+        assert world.up_ids() == frozenset({0, 1, 2})
+
+    def test_depleted_node_cannot_be_revived(self):
+        _, world, _ = make_world([[0, 0], [5, 0]], capacity=1e-4)
+        world.energy.charge_tx(0, 10_000)
+        world.check_depletion()
+        world.set_down(0, down=False)  # administrative revival attempt
+        assert not world.is_up(0)
+
+    def test_check_depletion_on_administratively_down_node(self):
+        _, world, _ = make_world([[0, 0], [5, 0]], capacity=1e-4)
+        world.set_down(0)
+        world.energy.charge_tx(0, 10_000)
+        world.check_depletion()
+        assert not world.is_up(0)
+        assert world.up_ids() == frozenset({1})
+
+    def test_is_up_accepts_plain_and_numpy_ints(self):
+        import numpy as np
+
+        _, world, _ = make_world(line_positions(2, spacing=8.0))
+        world.set_down(np.int64(0))
+        assert not world.is_up(0)
+
+
+class TestEnergyProtocol:
+    """Threshold-crossing protocol: crossings are detected at charge
+    time and handed out exactly once by poll_depleted()."""
+
+    def test_poll_returns_each_crossing_once(self):
+        em = EnergyModel(3, capacity=1e-4)
+        assert em.poll_depleted() == ()
+        em.charge_tx(1, 10_000)
+        assert em.poll_depleted() == (1,)
+        assert em.poll_depleted() == ()
+        em.charge_rx(1, 10_000)  # still depleted: no second crossing
+        assert em.poll_depleted() == ()
+
+    def test_infinite_capacity_never_depletes(self):
+        em = EnergyModel(2)
+        em.charge_tx(0, 10**9)
+        assert not em.finite
+        assert em.alive(0)
+        assert em.poll_depleted() == ()
+        assert em.resync() == ()
+
+    def test_on_depleted_fires_once_per_node(self):
+        em = EnergyModel(3, capacity=1e-4)
+        fired = []
+        em.on_depleted = fired.append
+        em.charge_tx(2, 10_000)
+        em.charge_rx(2, 10_000)
+        assert fired == [2]
+
+    def test_resync_after_bulk_edit(self):
+        em = EnergyModel(3, capacity=1.0)
+        em.consumed[0] = 2.0  # direct edit, bypassing charge_*
+        assert em.alive(0)  # stale until resync
+        assert em.resync() == (0,)
+        assert not em.alive(0)
+        assert em.poll_depleted() == (0,)
+        assert em.resync() == ()  # idempotent
+
+    def test_alive_agrees_with_depleted_mask(self):
+        em = EnergyModel(4, capacity=1e-4)
+        em.charge_tx(1, 10_000)
+        em.charge_rx(3, 10_000)
+        mask = em.depleted()
+        for i in range(4):
+            assert em.alive(i) == (not mask[i])

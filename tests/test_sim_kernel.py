@@ -205,6 +205,82 @@ class TestRunControl:
         assert sim.peek_time() == 7.0
 
 
+class TestPendingFastPath:
+    """pending() is an O(1) incremental count; it must always agree with
+    the brute-force heap scan, including around cancellation edge cases."""
+
+    def test_agrees_with_brute_force(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7), lambda: None) for i in range(50)]
+        assert sim.pending() == sim._brute_pending() == 50
+        for ev in events[::3]:
+            ev.cancel()
+        assert sim.pending() == sim._brute_pending()
+        sim.run()
+        assert sim.pending() == sim._brute_pending() == 0
+
+    def test_agrees_while_stepping(self):
+        sim = Simulator()
+        for i in range(20):
+            sim.schedule(float(i), lambda: None)
+        while sim.step() is not None:
+            assert sim.pending() == sim._brute_pending()
+
+    def test_cancel_after_dispatch_is_noop(self):
+        # Timeout handles are routinely cancelled after firing; the done
+        # flag must keep that from corrupting the incremental count.
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending() == sim._brute_pending() == 1
+        assert sim.events_skipped == 0
+
+    def test_cancel_survives_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(200)]
+        for ev in events[:150]:
+            ev.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.pending() == sim._brute_pending() == 50
+
+    def test_stats_pending_matches(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.stats()["pending"] == 1
+        assert sim.stats()["heap_pushes"] == 1
+
+
+class TestEventWeight:
+    """Batched delivery events carry weight=k so events_dispatched stays
+    identical to the per-receiver reference lane."""
+
+    def test_weight_counts_as_k_dispatches(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, weight=5)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 6
+        assert sim.heap_pushes == 2
+
+    def test_daemon_weight_excluded_from_dispatched(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, weight=3, daemon=True)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 1
+        assert sim.stats()["events_daemon"] == 3
+
+    def test_weight_below_one_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None, weight=0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None, weight=-2)
+
+
 class TestProperties:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
     @settings(max_examples=50, deadline=None)

@@ -74,3 +74,31 @@ class TestRunSweep:
             assert a.point == b.point
             assert a.totals == b.totals
             assert a.events == b.events
+
+    def test_explicit_chunksize_matches_serial(self):
+        # Chunked map must preserve both grid order and point identity:
+        # chunksize is a transport knob, never a semantic one.
+        specs = [SweepSpec("num_nodes", (10, 12, 14, 16))]
+        serial = run_sweep(self.BASE, specs, reps=1)
+        chunked = run_sweep(self.BASE, specs, reps=1, processes=2, chunksize=3)
+        assert [r.point for r in chunked] == [r.point for r in serial]
+        for a, b in zip(serial, chunked):
+            assert a.totals == b.totals
+            assert a.events == b.events
+            assert a.energy == b.energy
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(
+                self.BASE,
+                [SweepSpec("num_nodes", (10,))],
+                processes=2,
+                chunksize=0,
+            )
+
+    def test_chunksize_ignored_when_serial(self):
+        # Serial runs never consult chunksize (no pool to hand it to).
+        results = run_sweep(
+            self.BASE, [SweepSpec("num_nodes", (10,))], chunksize=0
+        )
+        assert len(results) == 1
