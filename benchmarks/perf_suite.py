@@ -1,7 +1,7 @@
 """Substrate performance suite: the repo's recorded perf trajectory.
 
-Three workload families time the hot per-frame paths the batched fast
-lanes optimize (see docs/PERFORMANCE.md):
+Five workload families time the hot paths the fast lanes optimize (see
+docs/PERFORMANCE.md):
 
 * **kernel_throughput** -- raw event dispatch rate (events/sec) of the
   discrete-event kernel, no network attached;
@@ -11,7 +11,22 @@ lanes optimize (see docs/PERFORMANCE.md):
   win, and the semantic registry snapshots of the two lanes are checked
   for bit-identity over several seeds;
 * **scenario_e2e** -- fig-7-style end-to-end scenarios (paper density,
-  area scaled with sqrt(n)) at n in {50, 150, 600, 2000}.
+  area scaled with sqrt(n)) at n in {50, 150, 600, 2000};
+* **topology_refresh** -- a servent-shaped query mix (neighbor checks +
+  hot-source BFS) under paper random-waypoint mobility, run on the
+  incremental *delta* snapshot lane vs the *full*-rebuild reference
+  lane; every query answer is fingerprinted and must match between
+  lanes;
+* **metrics_kernels** -- the analytics bundle (components, clustering,
+  characteristic path length) on the vectorized CSR kernels
+  (``repro.metrics.graphfast``) vs the equivalent networkx algorithms,
+  with exact agreement of every metric value required.
+
+Timing convention: every workload runs ``repeats`` times and records the
+**minimum** wall clock as ``wall_seconds`` plus the spread
+(``wall_mean`` / ``wall_max`` / ``reps``), so noise and real overhead
+are distinguishable in the archived trajectory.  Counters are
+deterministic; repeats only affect wall clock.
 
 :func:`run_suite` produces the versioned ``BENCH_substrate.json``
 document that ``scripts/bench.py`` writes at the repo root; subsequent
@@ -22,15 +37,22 @@ validated by :func:`validate_bench_dict` (hand-rolled, like
 
 from __future__ import annotations
 
+import hashlib
 import math
 import platform
 import sys
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import networkx as nx
 import numpy as np
 
-from repro.mobility import Area, Static
+from repro.metrics.graphfast import (
+    average_clustering,
+    component_labels,
+    path_length_sums,
+)
+from repro.mobility import Area, RandomWaypoint, Static
 from repro.net import Channel, FloodManager, World
 from repro.obs.compare import semantic_snapshot, snapshot_diff
 from repro.obs.manifest import git_revision
@@ -45,6 +67,10 @@ __all__ = [
     "bench_broadcast_fanout",
     "compare_fanout_lanes",
     "bench_scenario_e2e",
+    "bench_topology_refresh",
+    "compare_topology_refresh",
+    "bench_metrics_kernels",
+    "compare_metrics_kernels",
     "run_suite",
     "validate_bench_dict",
 ]
@@ -65,6 +91,16 @@ EQUIVALENCE_SEEDS = (1, 2, 3)
 
 class BenchSchemaError(ValueError):
     """A bench dict does not conform to the BENCH schema."""
+
+
+def _spread(walls: Sequence[float]) -> Dict[str, float]:
+    """Min-of-k timing plus the spread that makes noise visible."""
+    return {
+        "wall_seconds": min(walls),
+        "wall_mean": sum(walls) / len(walls),
+        "wall_max": max(walls),
+        "reps": len(walls),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -119,7 +155,7 @@ def bench_broadcast_fanout(
     are identical across repeats) -- this filters warmup/GC noise out of
     the recorded trajectory.
     """
-    wall = float("inf")
+    walls = []
     for _ in range(max(1, repeats)):
         sim, world, channel, managers = _fanout_net(n, seed, batched)
         stride = max(1, n // rounds)
@@ -127,7 +163,7 @@ def bench_broadcast_fanout(
         for r in range(rounds):
             managers[(r * stride) % n].originate(payload=r, nhops=nhops)
             sim.run()
-        wall = min(wall, perf_counter() - t0)
+        walls.append(perf_counter() - t0)
     return {
         "name": "broadcast_fanout",
         "params": {
@@ -137,7 +173,7 @@ def bench_broadcast_fanout(
             "seed": seed,
             "lane": "batched" if batched else "reference",
         },
-        "wall_seconds": wall,
+        **_spread(walls),
         "events_dispatched": sim.events_dispatched,
         "heap_pushes": sim.heap_pushes,
         "frames_sent": channel.frames_sent,
@@ -223,11 +259,12 @@ def bench_scenario_e2e(
         topology="auto",
         batched_delivery=batched,
     )
-    wall = float("inf")
+    walls = []
     for _ in range(max(1, repeats)):
         t0 = perf_counter()
         result = run_scenario(cfg)
-        wall = min(wall, perf_counter() - t0)
+        walls.append(perf_counter() - t0)
+    wall = min(walls)
     return {
         "name": "scenario_e2e",
         "params": {
@@ -237,10 +274,244 @@ def bench_scenario_e2e(
             "lane": "batched" if batched else "reference",
             "topology": cfg.resolved_topology,
         },
-        "wall_seconds": wall,
+        **_spread(walls),
         "events_dispatched": result.events,
         "heap_pushes": result.counters.get("kernel.heap_pushes", 0.0),
         "sim_seconds_per_wall_second": duration / wall if wall > 0 else float("inf"),
+    }
+
+
+def _refresh_workload(
+    n: int, duration: float, seed: int, delta: bool
+) -> Tuple[float, str, World]:
+    """Timed servent-shaped query mix on one topology-refresh lane.
+
+    Paper mobility (random waypoint, <= 1 m/s, long pauses) over a
+    paper-density area; the clock steps in 0.25 s quanta (the production
+    ``snapshot_interval``), and each quantum issues the query mix a
+    servent layer generates: a few ``neighbors()`` probes plus BFS
+    distance vectors from a small *hot* source set (connection
+    maintenance keeps asking about the same peers, which is what the
+    LRU distance cache and the adjacency epoch are for).  Every answer
+    is folded into a blake2b fingerprint so the delta and full lanes can
+    be checked for bit-identical query semantics.
+    """
+    side = 100.0 * math.sqrt(n / 50.0)
+    mobility = RandomWaypoint(
+        n,
+        Area(side, side),
+        np.random.default_rng(seed),
+        max_speed=1.0,
+        max_pause=100.0,
+    )
+    sim = Simulator()
+    world = World(
+        sim,
+        mobility,
+        radio_range=10.0,
+        snapshot_interval=0.25,
+        topology="sparse" if n >= 400 else "dense",
+        topology_delta=delta,
+    )
+    hot = [int(h) % n for h in (0, n // 7, n // 3, 2 * n // 5, n // 2, 3 * n // 5, 3 * n // 4, n - 1)]
+    steps = int(round(duration / 0.25))
+    digest = hashlib.blake2b(digest_size=16)
+    t0 = perf_counter()
+    for step in range(1, steps + 1):
+        t = step * 0.25
+        sim.schedule_at(t, lambda: None)
+        sim.run(until=t)
+        for k in range(4):
+            digest.update(world.neighbors((step * 4 + k) % n).tobytes())
+        for k in range(2):
+            digest.update(world.hops_from(hot[(step * 2 + k) % len(hot)]).tobytes())
+    wall = perf_counter() - t0
+    return wall, digest.hexdigest(), world
+
+
+def bench_topology_refresh(
+    n: int,
+    *,
+    duration: float = 20.0,
+    seed: int = 1,
+    delta: bool = True,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Topology refresh + query workload on one snapshot lane."""
+    walls = []
+    fingerprint = ""
+    world: Optional[World] = None
+    for _ in range(max(1, repeats)):
+        wall, fingerprint, world = _refresh_workload(n, duration, seed, delta)
+        walls.append(wall)
+    assert world is not None
+    topo = world.topology
+    return {
+        "name": "topology_refresh",
+        "params": {
+            "n": n,
+            "duration": duration,
+            "seed": seed,
+            "lane": "delta" if delta else "full",
+            "topology": type(topo).name,
+            "fingerprint": fingerprint,
+        },
+        **_spread(walls),
+        "rebuilds": topo.rebuilds,
+        "delta_rebuilds": topo.delta_rebuilds,
+        "moved_nodes": topo.moved_nodes,
+        "dist_cache_hits": topo.dist_cache_hits,
+        "csr_builds": getattr(topo, "csr_builds", 0),
+    }
+
+
+def compare_topology_refresh(
+    n: int,
+    *,
+    duration: float = 20.0,
+    seeds: Sequence[int] = EQUIVALENCE_SEEDS,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Delta vs full-rebuild refresh lanes on the same query stream.
+
+    Wall clock comes from per-lane timed runs (best of ``repeats``); on
+    top of that, both lanes re-run over ``seeds`` and the blake2b
+    fingerprints of every query answer (neighbor sets + BFS vectors at
+    every 0.25 s quantum) must match exactly.
+    """
+    full = bench_topology_refresh(
+        n, duration=duration, seed=seeds[0], delta=False, repeats=repeats
+    )
+    fast = bench_topology_refresh(
+        n, duration=duration, seed=seeds[0], delta=True, repeats=repeats
+    )
+    identical = full["params"]["fingerprint"] == fast["params"]["fingerprint"]
+    checked = [int(seeds[0])]
+    for seed in seeds[1:]:
+        _, fp_full, _ = _refresh_workload(n, duration, seed, delta=False)
+        _, fp_fast, _ = _refresh_workload(n, duration, seed, delta=True)
+        if fp_full != fp_fast:
+            identical = False
+        checked.append(int(seed))
+    wall_full, wall_fast = full["wall_seconds"], fast["wall_seconds"]
+    return {
+        "name": "topology_refresh",
+        "n": n,
+        "full": full,
+        "delta": fast,
+        "speedup": wall_full / wall_fast if wall_fast > 0 else float("inf"),
+        "semantically_identical": identical,
+        "seeds_checked": checked,
+    }
+
+
+def _metrics_graph(n: int, seed: int):
+    """Static RGG at harvest density: CSR arrays + the same graph in nx.
+
+    The radio range is chosen so the mean degree (~9) matches the graphs
+    the analytics bundle actually runs on -- overlay / small-world
+    harvest graphs whose degree is set by the connection budget -- not
+    the near-empty paper-density physical RGG, where every all-pairs
+    traversal is O(1) per source and nothing distinguishes the lanes.
+    """
+    side = 100.0 * math.sqrt(n / 50.0)
+    rng = np.random.default_rng(seed)
+    mobility = Static(n, Area(side, side), rng)
+    world = World(
+        Simulator(),
+        mobility,
+        radio_range=24.0,
+        topology="sparse" if n >= 400 else "dense",
+    )
+    indptr, indices = world.csr()
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    adj = world.adjacency()
+    g.add_edges_from((int(i), int(j)) for i, j in np.argwhere(np.triu(adj)))
+    return indptr, indices, g
+
+
+def bench_metrics_kernels(
+    n: int, *, seed: int = 1, repeats: int = 1
+) -> Dict[str, Any]:
+    """Analytics bundle on both metric lanes over the *same* graph.
+
+    Times components + average clustering + characteristic path length
+    once through networkx and once through the vectorized CSR kernels,
+    and requires exact agreement of every figure (same integer
+    rationals, same IEEE divisions -- see ``tests/test_graphfast.py``).
+    Returns the per-lane walls in one record; the suite splits them into
+    two results plus a comparison.
+    """
+    indptr, indices, g = _metrics_graph(n, seed)
+
+    def nx_lane():
+        comps = sorted((len(c) for c in nx.connected_components(g)), reverse=True)
+        clustering = nx.average_clustering(g)
+        total = pairs = 0
+        for _, lengths in nx.all_pairs_shortest_path_length(g):
+            for d in lengths.values():
+                if d > 0:
+                    total += d
+                    pairs += 1
+        cpl = total / pairs if pairs else float("nan")
+        return comps, clustering, cpl
+
+    def np_lane():
+        labels = component_labels(indptr, indices)
+        _, counts = np.unique(labels, return_counts=True)
+        comps = sorted((int(c) for c in counts), reverse=True)
+        clustering = average_clustering(indptr, indices)
+        total, pairs = path_length_sums(indptr, indices)
+        cpl = total / pairs if pairs else float("nan")
+        return comps, clustering, cpl
+
+    walls = {"networkx": [], "numpy": []}
+    values = {}
+    for _ in range(max(1, repeats)):
+        for lane, fn in (("networkx", nx_lane), ("numpy", np_lane)):
+            t0 = perf_counter()
+            values[lane] = fn()
+            walls[lane].append(perf_counter() - t0)
+    nx_comps, nx_cc, nx_cpl = values["networkx"]
+    np_comps, np_cc, np_cpl = values["numpy"]
+    identical = nx_comps == np_comps and nx_cc == np_cc and nx_cpl == np_cpl
+    return {
+        "n": n,
+        "seed": seed,
+        "edges": g.number_of_edges(),
+        "walls": walls,
+        "identical": identical,
+        "clustering": np_cc,
+        "cpl": np_cpl,
+    }
+
+
+def compare_metrics_kernels(
+    n: int, *, seed: int = 1, repeats: int = 1
+) -> Dict[str, Any]:
+    """Before/after record for the analytics bundle: networkx vs numpy."""
+    raw = bench_metrics_kernels(n, seed=seed, repeats=repeats)
+    params = {"n": n, "seed": seed, "edges": raw["edges"]}
+    reference = {
+        "name": "metrics_kernels",
+        "params": {**params, "lane": "networkx"},
+        **_spread(raw["walls"]["networkx"]),
+    }
+    fast = {
+        "name": "metrics_kernels",
+        "params": {**params, "lane": "numpy"},
+        **_spread(raw["walls"]["numpy"]),
+    }
+    wall_nx, wall_np = reference["wall_seconds"], fast["wall_seconds"]
+    return {
+        "name": "metrics_kernels",
+        "n": n,
+        "networkx": reference,
+        "numpy": fast,
+        "speedup": wall_nx / wall_np if wall_np > 0 else float("inf"),
+        "semantically_identical": bool(raw["identical"]),
+        "seeds_checked": [int(seed)],
     }
 
 
@@ -306,6 +577,27 @@ def run_suite(
                 ),
                 "speedup": wall_ref / wall_bat if wall_bat > 0 else float("inf"),
             }
+        )
+
+    refresh_duration = 5.0 if quick else 20.0
+    for n in sizes:
+        say(f"topology_refresh: n={n} duration={refresh_duration:.1f}s (both lanes)")
+        cmp_ = compare_topology_refresh(
+            n, duration=refresh_duration, seeds=seeds, repeats=repeats
+        )
+        results.append(cmp_["full"])
+        results.append(cmp_["delta"])
+        comparisons.append(
+            {k: v for k, v in cmp_.items() if k not in ("full", "delta")}
+        )
+
+    for n in sizes:
+        say(f"metrics_kernels: n={n} (networkx vs numpy)")
+        cmp_ = compare_metrics_kernels(n, repeats=repeats)
+        results.append(cmp_["networkx"])
+        results.append(cmp_["numpy"])
+        comparisons.append(
+            {k: v for k, v in cmp_.items() if k not in ("networkx", "numpy")}
         )
 
     doc = {
@@ -381,7 +673,10 @@ def validate_bench_dict(d: Dict[str, Any], *, path: str = "bench") -> None:
         if not isinstance(c.get("name"), str):
             _fail(f"{cpath}.name", "expected str")
         _number(c.get("n"), f"{cpath}.n")
-        _number(c.get("push_reduction"), f"{cpath}.push_reduction")
+        # Delivery-lane comparisons carry the heap-push ratio; refresh
+        # and metric-kernel comparisons are wall-clock only.
+        if "push_reduction" in c:
+            _number(c["push_reduction"], f"{cpath}.push_reduction")
         _number(c.get("speedup"), f"{cpath}.speedup")
         if "semantically_identical" in c and not isinstance(
             c["semantically_identical"], bool

@@ -4,8 +4,9 @@
 The repo's perf trajectory lives in versioned ``BENCH_*.json`` documents
 at the repository root: every substrate-touching PR re-runs this script
 and the recorded before/after numbers (reference vs batched delivery
-lane, heap traffic, events/sec, end-to-end wall clock) become the
-baseline the next PR has to beat.  See docs/PERFORMANCE.md for how to
+lane, full vs delta topology refresh, networkx vs numpy metric kernels,
+heap traffic, events/sec, end-to-end wall clock) become the baseline
+the next PR has to beat.  See docs/PERFORMANCE.md for how to
 read the document.
 
 Usage::
@@ -52,10 +53,14 @@ def _print_summary(doc: dict) -> None:
     for c in doc["comparisons"]:
         ident = c.get("semantically_identical")
         tail = "" if ident is None else f" identical={ident}"
+        push = (
+            f"push_reduction={c['push_reduction']:.2f}x "
+            if "push_reduction" in c
+            else ""
+        )
         print(
             f"  -> {c['name']:<17} n={c['n']:<6} "
-            f"push_reduction={c['push_reduction']:.2f}x "
-            f"speedup={c['speedup']:.2f}x{tail}"
+            f"{push}speedup={c['speedup']:.2f}x{tail}"
         )
 
 

@@ -90,7 +90,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         int(v) if args.parameter == "nodes" else v for v in args.values
     )
     base = ScenarioConfig(
-        duration=args.duration, seed=args.seed, topology=args.topology
+        duration=args.duration,
+        seed=args.seed,
+        topology=args.topology,
+        topology_delta=args.topology_refresh != "full",
     )
     store = None
     if args.store:
@@ -151,6 +154,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             seed=args.seed,
             topology=args.topology,
+            topology_delta=args.topology_refresh != "full",
         )
     )
     s.run()
@@ -191,6 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         routing=args.routing,
         seed=args.seed,
         topology=args.topology,
+        topology_delta=args.topology_refresh != "full",
         obs_interval=args.obs_interval,
     )
     res = run_scenario(cfg)
@@ -269,6 +274,13 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
         choices=("dense", "sparse", "auto"),
         default="auto",
         help="physical-topology backend (auto: sparse at large n)",
+    )
+    parser.add_argument(
+        "--topology-refresh",
+        choices=("delta", "full"),
+        default="delta",
+        help="snapshot refresh lane: incremental delta (default) or the "
+        "full-rebuild reference lane (bit-identical results)",
     )
 
 

@@ -9,6 +9,15 @@ from .connectivity import (
     expected_mean_degree,
     reachable_pair_fraction,
 )
+from .graphfast import (
+    average_clustering,
+    component_labels,
+    graph_csr,
+    local_clustering,
+    multi_source_hops,
+    path_length_sums,
+    triangle_counts,
+)
 from .lifetimes import ClosedConnection, LifetimeLog, lifetime_summary
 from .timeseries import (
     Sampler,
@@ -29,6 +38,13 @@ __all__ = [
     "connectivity_stats",
     "expected_mean_degree",
     "reachable_pair_fraction",
+    "average_clustering",
+    "component_labels",
+    "graph_csr",
+    "local_clustering",
+    "multi_source_hops",
+    "path_length_sums",
+    "triangle_counts",
     "ClosedConnection",
     "LifetimeLog",
     "lifetime_summary",

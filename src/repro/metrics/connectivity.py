@@ -5,6 +5,15 @@ The paper's scenarios are *sparse*: 50 nodes with 10 m radios on
 partitioned.  These helpers quantify that (component structure,
 isolation, reachable-pair fraction) -- the denominator behind every
 answer-rate number in the density and mobility studies.
+
+All of them run on the vectorized CSR kernels
+(:mod:`repro.metrics.graphfast`) via the topology backend's
+:meth:`~repro.net.topology.TopologyBackend.csr` view.  Crucially they
+**never** call ``world.hops_from``: that path memoizes per-source BFS
+vectors in the topology's LRU distance cache, and an analytics sweep
+over every start node used to evict the protocol-hot entries (servent
+connection maintenance, the routing oracle) mid-run.  Sampling metrics
+must observe the run, not perturb its caches.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..net.world import World
+from .graphfast import component_labels
 
 __all__ = [
     "components",
@@ -24,17 +34,38 @@ __all__ = [
 
 
 def components(world: World) -> List[np.ndarray]:
-    """Connected components of the current radio graph (largest first)."""
+    """Connected components of the current radio graph (largest first).
+
+    Matches the historical per-source BFS semantics exactly: each
+    *down* node contributes an empty component (it is absent from the
+    radio graph but was still iterated as a start), members are
+    ascending node ids, and ties in size keep min-member-id discovery
+    order (``list.sort`` is stable).
+    """
     n = world.n
-    seen = np.zeros(n, dtype=bool)
+    indptr, indices = world.topology.csr()
+    down = world.down_mask()
+    labels = component_labels(indptr, indices, registry=world.registry)
+    # Group member ids per label: stable argsort keeps ids ascending.
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_labels[1:] != sorted_labels[:-1]))
+    ) if n else np.empty(0, dtype=np.int64)
+    bounds = np.append(starts, n)
+    members = {
+        int(sorted_labels[s]): order[s:e] for s, e in zip(bounds[:-1], bounds[1:])
+    }
     out: List[np.ndarray] = []
+    empty = np.empty(0, dtype=np.int64)
     for start in range(n):
-        if seen[start]:
-            continue
-        dist = world.hops_from(start)
-        comp = np.flatnonzero(dist >= 0)
-        seen[comp] = True
-        out.append(comp)
+        if down[start]:
+            out.append(empty)
+        elif int(labels[start]) == start:
+            # A component surfaces at its minimum-id member, which is
+            # exactly its label -- the same discovery order as the old
+            # ascending per-source sweep.
+            out.append(members[start])
     out.sort(key=len, reverse=True)
     return out
 
@@ -53,13 +84,18 @@ def connectivity_stats(world: World) -> Dict[str, float]:
     """Bundle: component count/sizes, isolated nodes, degree, pairs."""
     comps = components(world)
     degrees = world.degrees()
+    n = world.n
+    if n < 2:
+        reachable = 1.0
+    else:
+        reachable = sum(len(c) * (len(c) - 1) for c in comps) / (n * (n - 1))
     return {
         "components": float(len(comps)),
         "largest_component": float(len(comps[0])) if comps else 0.0,
         "largest_fraction": float(len(comps[0])) / world.n if comps else 0.0,
         "isolated": float(sum(1 for c in comps if len(c) == 1)),
         "mean_degree": float(degrees.mean()),
-        "reachable_pairs": reachable_pair_fraction(world),
+        "reachable_pairs": reachable,
     }
 
 

@@ -1,0 +1,383 @@
+"""Vectorized graph-metric kernels over CSR adjacency arrays.
+
+The analytics layer (``metrics/connectivity.py``, ``metrics/smallworld.py``)
+used to answer whole-graph questions with per-source python loops --
+``world.hops_from(src)`` once per start node, networkx all-pairs BFS,
+an O(n²) python clustering loop.  At paper scale (n = 50..150) that is
+merely wasteful; at the n = 600..2000 the small-world evaluation wants,
+metric sampling dominates the run.
+
+This module is the replacement: every kernel operates on a CSR adjacency
+``(indptr, indices)`` -- ``indices[indptr[i]:indptr[i+1]]`` are node
+``i``'s neighbors ascending -- exactly the arrays the topology backends
+(:meth:`repro.net.topology.TopologyBackend.csr`) and
+:func:`graph_csr` (for networkx graphs) hand out.
+
+* :func:`multi_source_hops` -- bit-parallel level-synchronous BFS: 64
+  sources share each uint64 bit lane, and one ``bitwise_or.reduceat``
+  over the CSR rows advances every source in the chunk one level.
+* :func:`component_labels` -- connected components by min-label
+  propagation with pointer jumping (no per-node python BFS).
+* :func:`triangle_counts` -- per-node triangle counts; vectorized wedge
+  expansion with binary-searched edge membership on sparse graphs, a
+  float32 matmul (exact: counts stay far below 2^24) when the graph is
+  dense enough to justify O(n³) BLAS work.
+* :func:`local_clustering` / :func:`average_clustering` and
+  :func:`path_length_sums` -- the small-world metrics, bit-identical to
+  the python/networkx formulations (same rational operands, same
+  summation order), which is what lets the test oracles demand *exact*
+  agreement rather than ``allclose``.
+
+Every kernel reports invocation counters (``graphfast.*``) and wall time
+(``wall{section=graphfast.<kernel>}``) to a registry;
+``repro.obs.compare`` classifies those as cost metrics, so which
+analytics implementation ran never leaks into semantic snapshots.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.registry import Registry, default_registry
+
+__all__ = [
+    "UNREACHABLE",
+    "graph_csr",
+    "multi_source_hops",
+    "component_labels",
+    "triangle_counts",
+    "local_clustering",
+    "average_clustering",
+    "path_length_sums",
+]
+
+#: Sentinel hop distance for disconnected pairs (matches net.topology).
+UNREACHABLE = -1
+
+#: Sources advanced together per BFS chunk.  Large enough to amortize
+#: the per-level python overhead, small enough that the per-level
+#: bitset scratch (edges x chunk/64 uint64 words) stays cache-friendly.
+DEFAULT_CHUNK = 256
+
+#: Above this node count the dense-matmul triangle path would allocate
+#: O(n²) float32 scratch; the edge-expansion path takes over.  The
+#: matmul also requires the graph to be dense enough (mean degree >=
+#: n/16) to beat the O(sum deg²) sparse path.
+_DENSE_TRIANGLE_LIMIT = 2048
+
+#: Edge-expansion block size for the sparse triangle path: caps the
+#: scratch arrays at ~this many (edge, wedge) entries per block.
+_TRIANGLE_BLOCK = 1 << 20
+
+
+def _registry(registry: Optional[Registry]) -> Registry:
+    return registry if registry is not None else default_registry()
+
+
+def graph_csr(g) -> Tuple[np.ndarray, np.ndarray, List]:
+    """CSR adjacency of a networkx graph: ``(indptr, indices, nodes)``.
+
+    ``nodes`` is ``list(g.nodes)`` and row ``i`` belongs to ``nodes[i]``;
+    neighbor indices within each row are ascending.  Only the graph's
+    *structure* is read (nodes/edges) -- no networkx algorithms run.
+    """
+    nodes = list(g.nodes)
+    n = len(nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    m = g.number_of_edges()
+    rows = np.empty(2 * m, dtype=np.int64)
+    cols = np.empty(2 * m, dtype=np.int64)
+    for e, (u, v) in enumerate(g.edges):
+        iu, iv = index[u], index[v]
+        rows[2 * e], cols[2 * e] = iu, iv
+        rows[2 * e + 1], cols[2 * e + 1] = iv, iu
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return indptr, cols, nodes
+
+
+def multi_source_hops(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int],
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    registry: Optional[Registry] = None,
+) -> np.ndarray:
+    """Hop distances from every source at once: ``(len(sources), n)``.
+
+    Bit-parallel level-synchronous BFS: each chunk of sources becomes a
+    bit lane in per-node uint64 words (64 sources per word), a level
+    step gathers every node's neighbor words and OR-reduces them per
+    CSR row (``np.bitwise_or.reduceat``), and newly-reached (node,
+    source) bits are unpacked into the distance block.  No sorting, no
+    per-source python work -- one level costs O(E · chunk/64) word ops
+    regardless of frontier shape.  Entries are int32; unreachable pairs
+    get :data:`UNREACHABLE`.
+
+    Every requested source is treated as a live start vertex (distance
+    0 to itself).  ``TopologyBackend.hops_from`` reports a *down*
+    source as all-UNREACHABLE instead; callers replicating that
+    semantic must skip (or post-mask) down sources themselves, as
+    ``repro.metrics.connectivity`` does.
+    """
+    reg = _registry(registry)
+    t0 = perf_counter()
+    n = len(indptr) - 1
+    src = np.asarray(list(sources), dtype=np.int64)
+    out = np.full((len(src), n), UNREACHABLE, dtype=np.int32)
+    if len(src) == 0 or n == 0:
+        return out
+    deg = np.diff(indptr)
+    zero_rows = deg == 0
+    # reduceat indices must stay in-bounds even when trailing rows are
+    # empty (indptr entries == len(indices)); those rows are masked out.
+    safe_starts = np.minimum(indptr[:-1], max(0, len(indices) - 1))
+    for lo in range(0, len(src), max(1, int(chunk))):
+        block = src[lo : lo + max(1, int(chunk))]
+        width = len(block)
+        dist = out[lo : lo + width]
+        rows = np.arange(width, dtype=np.int64)
+        dist[rows, block] = 0
+        if len(indices) == 0:
+            continue
+        words = (width + 63) // 64
+        visited = np.zeros((n, words), dtype=np.uint64)
+        lane = np.left_shift(np.uint64(1), (rows % 64).astype(np.uint64))
+        np.bitwise_or.at(visited, (block, rows // 64), lane)
+        frontier = visited.copy()
+        d = 0
+        while True:
+            d += 1
+            nxt = np.bitwise_or.reduceat(frontier[indices], safe_starts, axis=0)
+            nxt[zero_rows] = 0
+            new = nxt & ~visited
+            if not new.any():
+                break
+            visited |= new
+            bits = np.unpackbits(
+                new.astype("<u8", copy=False).view(np.uint8).reshape(n, -1),
+                axis=1,
+                bitorder="little",
+            )[:, :width]
+            node_idx, src_idx = np.nonzero(bits)
+            dist[src_idx, node_idx] = d
+            frontier = new
+    reg.counter("graphfast.bfs_sources", layer="metrics").inc(len(src))
+    reg.timer("wall", section="graphfast.bfs").add(perf_counter() - t0)
+    return out
+
+
+def component_labels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    registry: Optional[Registry] = None,
+) -> np.ndarray:
+    """Connected-component labels by min-label propagation on CSR.
+
+    Returns an int64 ``(n,)`` array where every node carries the minimum
+    node id of its component; isolated (or down, i.e. edge-less) nodes
+    keep their own id.  Each sweep takes the elementwise minimum over
+    every node's neighborhood, then pointer-jumps (``labels[labels]``)
+    until a fixpoint -- O(E) numpy work per sweep, a handful of sweeps
+    even on path-shaped graphs.
+    """
+    reg = _registry(registry)
+    t0 = perf_counter()
+    n = len(indptr) - 1
+    labels = np.arange(n, dtype=np.int64)
+    if n and len(indices):
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        while True:
+            nxt = labels.copy()
+            np.minimum.at(nxt, rows, labels[indices])
+            # Pointer jumping: chase labels toward their component min.
+            while True:
+                hop = nxt[nxt]
+                if np.array_equal(hop, nxt):
+                    break
+                nxt = hop
+            if np.array_equal(nxt, labels):
+                break
+            labels = nxt
+    reg.counter("graphfast.component_runs", layer="metrics").inc()
+    reg.timer("wall", section="graphfast.components").add(perf_counter() - t0)
+    return labels
+
+
+def triangle_counts(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    registry: Optional[Registry] = None,
+) -> np.ndarray:
+    """Per-node triangle counts (edges among each node's neighbors).
+
+    Dense path (n <= 2048 *and* mean degree >= n/16): one float32
+    matmul -- ``(A @ A) * A`` summed per row counts each
+    in-neighborhood edge twice.  Exact: every count is an integer far
+    below 2^24, so float32 arithmetic is lossless.  Sparse path (the
+    common MANET/overlay regime): vectorized wedge expansion -- for
+    every directed edge ``(i, u)`` gather ``N(u)`` and binary-search
+    each wedge endpoint in the sorted packed edge-key array, O(sum
+    deg² · log E) with no per-node python loop, blocked to bound
+    scratch memory.
+    """
+    reg = _registry(registry)
+    t0 = perf_counter()
+    n = len(indptr) - 1
+    m2 = len(indices)  # directed edge count
+    if n <= _DENSE_TRIANGLE_LIMIT and 16 * m2 >= n * n:
+        adj = np.zeros((n, n), dtype=np.float32)
+        if m2:
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            adj[rows, indices] = 1.0
+        paths = (adj @ adj) * adj
+        out = (paths.sum(axis=1) / 2.0).astype(np.int64)
+    else:
+        out = np.zeros(n, dtype=np.int64)
+        if m2:
+            deg = np.diff(indptr)
+            rows = np.repeat(np.arange(n, dtype=np.int64), deg)
+            # CSR rows are ascending, so the packed (row, col) keys are
+            # globally sorted: membership is one searchsorted away.
+            keys = rows * np.int64(n) + indices
+            wedge_counts = deg[indices]
+            # Block the expansion so scratch stays ~_TRIANGLE_BLOCK.
+            csum = np.cumsum(wedge_counts)
+            grand = int(csum[-1])
+            marks = np.searchsorted(
+                csum, np.arange(_TRIANGLE_BLOCK, grand, _TRIANGLE_BLOCK)
+            )
+            cuts = np.unique(np.concatenate(([0], marks + 1, [m2])))
+            for lo, hi in zip(cuts[:-1], cuts[1:]):
+                counts = wedge_counts[lo:hi]
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                ends = np.cumsum(counts)
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                    ends - counts, counts
+                )
+                # wedge i -- u -- w: expand N(u) for each edge (i, u)
+                w = indices[
+                    np.repeat(indptr[indices[lo:hi]], counts) + offsets
+                ]
+                src = np.repeat(rows[lo:hi], counts)
+                probe = src * np.int64(n) + w
+                at = np.searchsorted(keys, probe)
+                at[at == len(keys)] = 0  # any valid slot; equality fails
+                closed = keys[at] == probe
+                out += np.bincount(src[closed], minlength=n)
+            out //= 2
+    reg.counter("graphfast.triangle_runs", layer="metrics").inc()
+    reg.timer("wall", section="graphfast.triangles").add(perf_counter() - t0)
+    return out
+
+
+def local_clustering(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    registry: Optional[Registry] = None,
+) -> np.ndarray:
+    """Per-node clustering coefficients ``triangles / (k(k-1)/2)``.
+
+    Nodes with fewer than two neighbors get 0.  Bit-identical to the
+    python-loop definition (``real / possible`` with integer-valued
+    float operands -- IEEE division is correctly rounded, so equal
+    rationals give equal floats) and to ``networkx.clustering``.
+    """
+    tri = triangle_counts(indptr, indices, registry=registry)
+    k = np.diff(indptr).astype(np.float64)
+    possible = k * (k - 1.0) / 2.0
+    out = np.zeros(len(tri), dtype=np.float64)
+    eligible = possible > 0.0
+    out[eligible] = tri[eligible].astype(np.float64) / possible[eligible]
+    return out
+
+
+def average_clustering(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    registry: Optional[Registry] = None,
+) -> float:
+    """Graph-average clustering coefficient (0.0 for an empty graph).
+
+    Accumulates per-node coefficients *sequentially in node order* --
+    the same float additions the python-loop oracle performs -- so the
+    result matches it (and ``networkx.average_clustering``) exactly.
+    """
+    n = len(indptr) - 1
+    if n == 0:
+        return 0.0
+    total = 0.0
+    for c in local_clustering(indptr, indices, registry=registry):
+        total += c
+    return total / n
+
+
+def path_length_sums(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    registry: Optional[Registry] = None,
+) -> Tuple[int, int]:
+    """``(total_hops, connected_ordered_pairs)`` over all-pairs BFS.
+
+    Distances are integers, so the total is exact no matter the
+    summation order; ``total / pairs`` then reproduces the reference
+    characteristic-path-length float bit-for-bit.
+
+    Never materializes the (n, n) distance matrix: a pair reached at
+    level ``d`` contributes ``d`` = the number of levels it spent
+    unreached, so ``sum(dist) = sum over levels d of (reached_final -
+    reached_by(d))`` -- one popcount of the newly-visited bitset per
+    BFS level is all the bookkeeping the bit-parallel sweep needs.
+    """
+    reg = _registry(registry)
+    t0 = perf_counter()
+    n = len(indptr) - 1
+    total = 0
+    pairs = 0
+    if n and len(indices):
+        deg = np.diff(indptr)
+        zero_rows = deg == 0
+        safe_starts = np.minimum(indptr[:-1], len(indices) - 1)
+        step = max(1, int(chunk))
+        for lo in range(0, n, step):
+            block = np.arange(lo, min(lo + step, n), dtype=np.int64)
+            width = len(block)
+            words = (width + 63) // 64
+            rows = np.arange(width, dtype=np.int64)
+            visited = np.zeros((n, words), dtype=np.uint64)
+            lane = np.left_shift(np.uint64(1), (rows % 64).astype(np.uint64))
+            visited[block, rows // 64] = lane  # distinct sources: plain store
+            frontier = visited.copy()
+            counts = [width]  # pairs reached by end of level d
+            while True:
+                nxt = np.bitwise_or.reduceat(
+                    frontier[indices], safe_starts, axis=0
+                )
+                nxt[zero_rows] = 0
+                new = nxt & ~visited
+                grew = int(np.bitwise_count(new).sum())
+                if grew == 0:
+                    break
+                visited |= new
+                counts.append(counts[-1] + grew)
+                frontier = new
+            reached = counts[-1]
+            total += sum(reached - c for c in counts[:-1])
+            pairs += reached - width
+    reg.counter("graphfast.bfs_sources", layer="metrics").inc(n)
+    reg.timer("wall", section="graphfast.bfs").add(perf_counter() - t0)
+    return total, pairs

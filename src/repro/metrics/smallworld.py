@@ -7,16 +7,23 @@ length* of a random graph.  This module computes both, plus the
 regular/random-graph reference values the paper quotes
 (``n/2k`` and ``log n / log k``).
 
-Implementations are self-contained (numpy over an adjacency matrix);
-tests cross-check them against networkx.
+Both metrics run on the vectorized CSR kernels
+(:mod:`repro.metrics.graphfast`); networkx is only the *input type*
+(overlay graphs are built as ``nx.Graph``) and the cross-check oracle
+in the tests -- no networkx algorithm executes here.  The kernel
+results are bit-identical to the straightforward python formulations
+(see ``tests/test_graphfast.py``), so archived numbers are unaffected.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import networkx as nx
 import numpy as np
+
+from ..obs.registry import Registry
+from .graphfast import average_clustering, graph_csr, path_length_sums
 
 __all__ = [
     "clustering_coefficient",
@@ -27,7 +34,7 @@ __all__ = [
 ]
 
 
-def clustering_coefficient(g: nx.Graph) -> float:
+def clustering_coefficient(g: nx.Graph, *, registry: Optional[Registry] = None) -> float:
     """Average clustering coefficient.
 
     For each node: ``real_conn / possible_conn`` over its neighbourhood
@@ -37,38 +44,20 @@ def clustering_coefficient(g: nx.Graph) -> float:
     """
     if g.number_of_nodes() == 0:
         return 0.0
-    nodes = list(g.nodes)
-    index = {v: i for i, v in enumerate(nodes)}
-    n = len(nodes)
-    adj = np.zeros((n, n), dtype=bool)
-    for u, v in g.edges:
-        adj[index[u], index[v]] = adj[index[v], index[u]] = True
-    total = 0.0
-    for i in range(n):
-        nbrs = np.flatnonzero(adj[i])
-        k = len(nbrs)
-        if k < 2:
-            continue
-        sub = adj[np.ix_(nbrs, nbrs)]
-        real = sub.sum() / 2
-        possible = k * (k - 1) / 2
-        total += real / possible
-    return total / n
+    indptr, indices, _ = graph_csr(g)
+    return float(average_clustering(indptr, indices, registry=registry))
 
 
-def characteristic_path_length(g: nx.Graph) -> float:
+def characteristic_path_length(
+    g: nx.Graph, *, registry: Optional[Registry] = None
+) -> float:
     """Mean shortest-path length over all connected ordered pairs.
 
     Disconnected pairs are excluded (the overlay is often fragmented in
     sparse scenarios); returns ``nan`` when no pair is connected.
     """
-    total = 0.0
-    pairs = 0
-    for _, lengths in nx.all_pairs_shortest_path_length(g):
-        for d in lengths.values():
-            if d > 0:
-                total += d
-                pairs += 1
+    indptr, indices, _ = graph_csr(g)
+    total, pairs = path_length_sums(indptr, indices, registry=registry)
     return total / pairs if pairs else float("nan")
 
 
@@ -86,7 +75,9 @@ def random_graph_pathlength(n: int, k: int) -> float:
     return float(np.log(n) / np.log(k))
 
 
-def smallworld_stats(g: nx.Graph) -> Dict[str, float]:
+def smallworld_stats(
+    g: nx.Graph, *, registry: Optional[Registry] = None
+) -> Dict[str, float]:
     """Clustering + path length + the two reference values for this n,k."""
     n = g.number_of_nodes()
     degrees = [d for _, d in g.degree]
@@ -94,8 +85,8 @@ def smallworld_stats(g: nx.Graph) -> Dict[str, float]:
     stats = {
         "n": float(n),
         "mean_degree": k,
-        "clustering": clustering_coefficient(g),
-        "path_length": characteristic_path_length(g),
+        "clustering": clustering_coefficient(g, registry=registry),
+        "path_length": characteristic_path_length(g, registry=registry),
     }
     if n > 1 and k > 1:
         stats["regular_ref"] = regular_graph_pathlength(n, max(int(round(k)), 1))

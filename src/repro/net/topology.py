@@ -32,6 +32,23 @@ Both backends share snapshot lifecycle and staleness policy (the
 invalidation) through :class:`TopologyBackend`, and are required by the
 A/B equivalence suite (``tests/test_net_topology.py``) to agree exactly
 on neighbor sets and hop distances.
+
+Snapshot refreshes come in two lanes (``delta=True`` selects the fast
+one; both are bit-identical, see ``tests/test_topology_delta.py``):
+
+* **full** (reference): every refresh recomputes connectivity from
+  scratch and flushes every memo, exactly the pre-delta behaviour.
+* **delta**: the backend diffs the new positions/down mask against the
+  previous snapshot.  Unmoved nodes keep their state; the sparse grid
+  re-bins only nodes whose cell changed; and -- when cheap enough to
+  prove -- an unchanged adjacency keeps the BFS distance cache and the
+  CSR across the refresh.
+
+Cache validity is tracked by an **adjacency epoch**
+(:attr:`TopologyBackend.adjacency_epoch`): a counter that advances only
+when the edge set may actually have changed, never on mere clock
+movement.  Consumers that memoize derived graph state should key it on
+the epoch instead of ``snapshot_time`` (see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ from __future__ import annotations
 import abc
 from collections import OrderedDict
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, Tuple, Type, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -63,6 +80,15 @@ UNREACHABLE = -1
 #: Default bound on memoized per-source distance vectors.
 DEFAULT_DIST_CACHE = 256
 
+#: Stable grid-key packing: cell (cx, cy) -> (cx + _KOFF) * _KSTRIDE +
+#: (cy + _KOFF).  Unlike a per-snapshot normalization, keys stay
+#: comparable across snapshots, which is what lets the delta lane re-bin
+#: only the nodes whose cell changed.  Collision-free while every cell
+#: coordinate stays within ±(_KOFF - 2) -- at a 10 m radio range that is
+#: a deployment area of ~10,000 km per axis.
+_KOFF = 1 << 20
+_KSTRIDE = 1 << 21
+
 
 class TopologyBackend(abc.ABC):
     """Snapshot lifecycle + query interface shared by all backends.
@@ -74,7 +100,11 @@ class TopologyBackend(abc.ABC):
     backwards-moving clock always forces a rebuild.
 
     Per-source hop-distance vectors are memoized in an LRU-bounded cache
-    (``dist_cache_size``) that is flushed on every rebuild.
+    (``dist_cache_size``).  The cache is keyed to the **adjacency
+    epoch**, not the snapshot timestamp: it is flushed only when a
+    refresh may have changed the edge set, so hop distances survive
+    refreshes that moved nobody (or, on the delta lane, moved nodes
+    without flipping any link).
 
     Parameters
     ----------
@@ -83,22 +113,40 @@ class TopologyBackend(abc.ABC):
         range, down mask, clock).
     dist_cache_size:
         Maximum number of per-source distance vectors kept per snapshot.
+    delta:
+        Select the incremental refresh lane (default).  ``False`` pins
+        the full-rebuild reference lane: every refresh recomputes from
+        scratch and advances the epoch, the pre-delta behaviour.
     """
 
     #: short identifier used by configuration ("dense" / "sparse")
     name = "abstract"
 
-    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
+    def __init__(
+        self,
+        world: "World",
+        *,
+        dist_cache_size: int = DEFAULT_DIST_CACHE,
+        delta: bool = True,
+    ) -> None:
         if dist_cache_size < 1:
             raise ValueError(f"dist_cache_size must be >= 1, got {dist_cache_size}")
         self.world = world
         self.dist_cache_size = int(dist_cache_size)
+        self.delta = bool(delta)
+        #: fraction of nodes that may move per refresh before the delta
+        #: lane stops trying to prove the adjacency unchanged (the proof
+        #: costs O(moved · degree); past this it almost never succeeds)
+        self.delta_detect_fraction = 0.25
         self._snap_time = -1.0
+        self._epoch = 0
         self._dist: "OrderedDict[int, np.ndarray]" = OrderedDict()
         registry = getattr(world, "registry", None)
         self.registry = registry if registry is not None else Registry()
         labels = {"layer": "topology", "backend": type(self).name}
         self._c_rebuilds = self.registry.counter("topology.rebuilds", **labels)
+        self._c_delta = self.registry.counter("topology.delta_rebuilds", **labels)
+        self._c_moved = self.registry.counter("topology.moved_nodes", **labels)
         self._c_dist_hits = self.registry.counter("topology.dist_cache_hits", **labels)
         self._t_rebuild = self.registry.timer("wall", section="topology.rebuild")
 
@@ -111,6 +159,16 @@ class TopologyBackend(abc.ABC):
         return self._c_rebuilds.value
 
     @property
+    def delta_rebuilds(self) -> int:
+        """Refreshes served by the delta lane (``topology.delta_rebuilds``)."""
+        return self._c_delta.value
+
+    @property
+    def moved_nodes(self) -> int:
+        """Nodes re-examined by delta refreshes (``topology.moved_nodes``)."""
+        return self._c_moved.value
+
+    @property
     def dist_cache_hits(self) -> int:
         """Memoized BFS hits (deprecated view of ``topology.dist_cache_hits``)."""
         return self._c_dist_hits.value
@@ -119,9 +177,12 @@ class TopologyBackend(abc.ABC):
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
         return {
             "rebuilds": self._c_rebuilds.value,
+            "delta_rebuilds": self._c_delta.value,
+            "moved_nodes": self._c_moved.value,
             "dist_cache_hits": self._c_dist_hits.value,
             "dist_cache_size": len(self._dist),
             "snapshot_time": self._snap_time,
+            "adjacency_epoch": self._epoch,
         }
 
     # ------------------------------------------------------------------
@@ -132,6 +193,18 @@ class TopologyBackend(abc.ABC):
         """Time of the current snapshot (-1 when none is valid)."""
         return self._snap_time
 
+    @property
+    def adjacency_epoch(self) -> int:
+        """Counter advanced whenever the edge set may have changed.
+
+        Consumers memoizing graph-derived state (hop distances, CSR
+        views, component labels) must key their caches on this value,
+        not on ``snapshot_time``: the epoch stands still across
+        refreshes that provably kept the adjacency, so caches survive
+        pure clock movement.
+        """
+        return self._epoch
+
     def refresh(self) -> None:
         """Rebuild the snapshot if it no longer covers ``sim.now``."""
         t = self.world.sim.now
@@ -141,17 +214,27 @@ class TopologyBackend(abc.ABC):
             or (t - self._snap_time) > self.world.snapshot_interval
         )
         if stale:
+            pos = self.world.positions()
+            down = self.world.down_mask()
             t0 = perf_counter()
-            self._rebuild(self.world.positions(), self.world.down_mask())
+            if self.delta and self._snap_time >= 0.0:
+                changed = self._update(pos, down)
+                self._c_delta.value += 1
+            else:
+                self._rebuild(pos, down)
+                changed = True
             self._t_rebuild.add(perf_counter() - t0)
             self._snap_time = t
-            self._dist.clear()
             self._c_rebuilds.value += 1
+            if changed:
+                self._epoch += 1
+                self._dist.clear()
 
     def invalidate(self) -> None:
         """Drop the snapshot; the next query recomputes everything."""
         self._snap_time = -1.0
         self._dist.clear()
+        self._epoch += 1
 
     def clear_distance_cache(self) -> None:
         """Forget memoized per-source distance vectors (benchmarks)."""
@@ -160,6 +243,16 @@ class TopologyBackend(abc.ABC):
     @abc.abstractmethod
     def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
         """Recompute connectivity from ``pos`` (n,2), excluding ``down``."""
+
+    def _update(self, pos: np.ndarray, down: np.ndarray) -> bool:
+        """Incrementally refresh from the previous snapshot.
+
+        Returns whether the adjacency may have changed (``True`` forces
+        an epoch bump and a distance-cache flush).  The base fallback is
+        a full rebuild; backends override with a real delta.
+        """
+        self._rebuild(pos, down)
+        return True
 
     # ------------------------------------------------------------------
     # queries
@@ -183,6 +276,18 @@ class TopologyBackend(abc.ABC):
         Kept for analytics and debugging; hot paths must use
         :meth:`link` / :meth:`neighbors` instead, which every backend
         answers without touching an O(n²) structure.
+        """
+
+    @abc.abstractmethod
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency ``(indptr, indices)`` of the current snapshot.
+
+        ``indices[indptr[i]:indptr[i+1]]`` are node ``i``'s neighbors in
+        ascending order; down nodes have empty rows and appear in no
+        row.  This is the zero-copy analytics surface the vectorized
+        graph kernels (:mod:`repro.metrics.graphfast`) operate on --
+        callers must not mutate the returned arrays and must not hold
+        them across refreshes (re-fetch per :attr:`adjacency_epoch`).
         """
 
     @abc.abstractmethod
@@ -225,15 +330,28 @@ class DenseTopology(TopologyBackend):
     One O(n²) pairwise-distance pass per snapshot; every query is then a
     matrix row / element.  Sub-millisecond at the paper's n = 50..150
     and the ground truth the sparse backend is checked against.
+
+    The delta lane short-circuits refreshes where nothing moved and
+    otherwise compares the freshly built matrix against the previous one
+    (O(n²) bool compare, cheap next to the rebuild itself) so an
+    unchanged adjacency keeps the distance cache and the epoch.
     """
 
     name = "dense"
 
-    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
-        super().__init__(world, dist_cache_size=dist_cache_size)
+    def __init__(
+        self,
+        world: "World",
+        *,
+        dist_cache_size: int = DEFAULT_DIST_CACHE,
+        delta: bool = True,
+    ) -> None:
+        super().__init__(world, dist_cache_size=dist_cache_size, delta=delta)
         n = world.n
         self._adj: np.ndarray = np.zeros((n, n), dtype=bool)
         self._down = np.zeros(n, dtype=bool)
+        self._pos: Optional[np.ndarray] = None
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
         diff = pos[:, None, :] - pos[None, :, :]
@@ -245,6 +363,18 @@ class DenseTopology(TopologyBackend):
             adj[:, down] = False
         self._adj = adj
         self._down = down.copy()
+        self._pos = pos.copy()
+        self._csr = None
+
+    def _update(self, pos: np.ndarray, down: np.ndarray) -> bool:
+        if self._pos is not None and np.array_equal(down, self._down):
+            touched = np.flatnonzero((pos != self._pos).any(axis=1))
+            if touched.size == 0:
+                return False  # nobody moved: snapshot carries over wholesale
+            self._c_moved.value += int(touched.size)
+        old_adj = self._adj
+        self._rebuild(pos, down)
+        return not np.array_equal(old_adj, self._adj)
 
     # -- queries -------------------------------------------------------
     def neighbors(self, i: int) -> np.ndarray:
@@ -262,6 +392,18 @@ class DenseTopology(TopologyBackend):
     def adjacency_matrix(self) -> np.ndarray:
         self.refresh()
         return self._adj
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        self.refresh()
+        if self._csr is None:
+            adj = self._adj
+            n = adj.shape[0]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(adj.sum(axis=1), out=indptr[1:])
+            # Row-major flatnonzero yields each row's columns ascending.
+            indices = np.flatnonzero(adj) % n
+            self._csr = (indptr, indices.astype(np.int64, copy=False))
+        return self._csr
 
     def _bfs(self, src: int) -> np.ndarray:
         n = self.world.n
@@ -301,24 +443,44 @@ class SparseGridTopology(TopologyBackend):
     its 3x3 neighborhood, vectorized per cell.  Administratively-down
     nodes are excluded from the grid entirely: they neither appear as
     neighbors nor relay.
+
+    On the delta lane a refresh diffs positions against the previous
+    snapshot: paused nodes (bitwise-identical positions -- the common
+    case under random-waypoint pauses) cost nothing, only nodes whose
+    grid cell changed are re-binned, and when few enough nodes moved the
+    backend proves whether any link actually flipped (old vs new
+    neighbor sets of the movers) to keep the CSR, the per-node neighbor
+    memos and the BFS distance cache alive across the refresh.
     """
 
     name = "sparse"
 
-    def __init__(self, world: "World", *, dist_cache_size: int = DEFAULT_DIST_CACHE) -> None:
-        super().__init__(world, dist_cache_size=dist_cache_size)
+    def __init__(
+        self,
+        world: "World",
+        *,
+        dist_cache_size: int = DEFAULT_DIST_CACHE,
+        delta: bool = True,
+    ) -> None:
+        super().__init__(world, dist_cache_size=dist_cache_size, delta=delta)
         n = world.n
         self._pos: np.ndarray = np.empty((n, 2))
         self._down = np.zeros(n, dtype=bool)
         self._cell: np.ndarray = np.zeros((n, 2), dtype=np.int64)
-        self._stride = 1
+        self._key: np.ndarray = np.zeros(n, dtype=np.int64)
         #: cell key -> np.ndarray of member node ids (up nodes only)
         self._grid: Dict[int, np.ndarray] = {}
         #: lazily-built CSR adjacency (indptr, indices) or None
         self._csr: Tuple[np.ndarray, np.ndarray] | None = None
         #: per-node neighbor memo for the current snapshot
         self._nbr: Dict[int, np.ndarray] = {}
-        self._r2 = 0.0
+        r = world.radio_range
+        self._r2 = r * r
+        # Adjacency-proof backoff: consecutive failures grow the skip
+        # window exponentially (capped at 64 refreshes), one success
+        # resets it -- sustained motion stops paying for doomed proofs.
+        self._prove_fail_streak = 0
+        self._prove_skip = 0
         # CSR builds performed (observability: should be << rebuilds
         # for neighbor-only workloads); exposed via the property below.
         self._c_csr_builds = self.registry.counter(
@@ -336,19 +498,25 @@ class SparseGridTopology(TopologyBackend):
         return out
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cells_of(pos: np.ndarray, r: float) -> np.ndarray:
+        cell = np.floor(pos / r).astype(np.int64) + _KOFF
+        return cell
+
     def _rebuild(self, pos: np.ndarray, down: np.ndarray) -> None:
         r = self.world.radio_range
-        self._pos = pos
+        self._pos = pos.copy()
         self._down = down.copy()
         self._r2 = r * r
-        cell = np.floor(pos / r).astype(np.int64)
-        # Shift so cell coords start at 1: neighbor offsets (±1) then
-        # never go negative and the row-major key below is collision-free.
-        cell -= cell.min(axis=0)
-        cell += 1
+        cell = self._cells_of(pos, r)
+        if cell.size and (cell.min() < 1 or cell.max() >= _KSTRIDE - 1):
+            raise ValueError(
+                "node positions exceed the sparse grid's coordinate range "
+                f"(±{(_KOFF - 2) * r:.0f} m at radio range {r})"
+            )
         self._cell = cell
-        self._stride = int(cell[:, 1].max()) + 2
-        keys = cell[:, 0] * self._stride + cell[:, 1]
+        keys = cell[:, 0] * _KSTRIDE + cell[:, 1]
+        self._key = keys
         up = np.flatnonzero(~down)
         order = up[np.argsort(keys[up], kind="stable")]
         sorted_keys = keys[order]
@@ -360,11 +528,129 @@ class SparseGridTopology(TopologyBackend):
         self._csr = None
         self._nbr = {}
 
+    # -- delta refresh -------------------------------------------------
+    def _update(self, pos: np.ndarray, down: np.ndarray) -> bool:
+        if not np.array_equal(down, self._down):
+            # Up-set changes normally arrive via invalidate(); if one
+            # reaches us directly, the conservative answer is a rebuild.
+            self._rebuild(pos, down)
+            return True
+        touched = np.flatnonzero((pos != self._pos).any(axis=1))
+        if touched.size == 0:
+            return False  # every node paused: the snapshot carries over
+        self._c_moved.value += int(touched.size)
+        # Decide up front whether proving "no link flipped" can pay off:
+        # the proof costs two neighbor computations per mover, and it
+        # only preserves anything if a distance cache / CSR exists.
+        # Under sustained motion some link flips nearly every refresh,
+        # so consecutive failed proofs back the attempt rate off
+        # exponentially (capped); one success restores eagerness.
+        movers = touched[~self._down[touched]]
+        if self._prove_skip > 0:
+            self._prove_skip -= 1
+            worth_proving = False
+        else:
+            worth_proving = (
+                (self._dist or self._csr is not None)
+                and movers.size <= max(8.0, self.delta_detect_fraction * self.world.n)
+            )
+        old_lists = self._mover_neighbor_lists(movers, self._pos) if worth_proving else None
+
+        # Surgical re-bin: only movers whose grid cell changed.
+        r = self.world.radio_range
+        new_cell = self._cells_of(pos[touched], r)
+        if new_cell.size and (new_cell.min() < 1 or new_cell.max() >= _KSTRIDE - 1):
+            raise ValueError(
+                "node positions exceed the sparse grid's coordinate range "
+                f"(±{(_KOFF - 2) * r:.0f} m at radio range {r})"
+            )
+        new_key = new_cell[:, 0] * _KSTRIDE + new_cell[:, 1]
+        rebin = new_key != self._key[touched]
+        for idx in np.flatnonzero(rebin):
+            i = int(touched[idx])
+            if self._down[i]:
+                continue  # down nodes are not in the grid
+            self._grid_remove(int(self._key[i]), i)
+            self._grid_add(int(new_key[idx]), i)
+        self._cell[touched] = new_cell
+        self._key[touched] = new_key
+        self._pos[touched] = pos[touched]
+
+        if old_lists is not None:
+            new_lists = self._mover_neighbor_lists(movers, self._pos)
+            if all(
+                np.array_equal(a, b) for a, b in zip(old_lists, new_lists)
+            ):
+                # Links between two movers and mover--pauser links both
+                # surface in some mover's list, and pauser--pauser links
+                # cannot change: the adjacency is provably intact, so
+                # the CSR, neighbor memos and distance cache stay warm.
+                self._prove_fail_streak = 0
+                return False
+            self._prove_fail_streak += 1
+            self._prove_skip = min(64, 1 << self._prove_fail_streak)
+        self._csr = None
+        self._nbr = {}
+        return True
+
+    def _grid_remove(self, key: int, i: int) -> None:
+        members = self._grid.get(key)
+        if members is None:
+            return
+        members = members[members != i]
+        if members.size:
+            self._grid[key] = members
+        else:
+            del self._grid[key]
+
+    def _grid_add(self, key: int, i: int) -> None:
+        members = self._grid.get(key)
+        if members is None:
+            self._grid[key] = np.array([i], dtype=np.int64)
+        else:
+            at = int(np.searchsorted(members, i))
+            self._grid[key] = np.insert(members, at, i)
+
+    def _mover_neighbor_lists(self, movers: np.ndarray, pos: np.ndarray) -> list:
+        """Neighbor sets of ``movers`` under ``pos`` + the current grid.
+
+        Grouped by cell so each 3x3 block is intersected once,
+        vectorized -- the same arithmetic as :meth:`neighbors`, so the
+        delta lane's adjacency proof uses the query plane's own answers.
+        """
+        out: list = [None] * len(movers)
+        if not len(movers):
+            return out
+        keys = self._key[movers]
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        group_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        bounds = np.append(group_starts, len(movers))
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            rows = order[s:e]
+            members = movers[rows]
+            i0 = int(members[0])
+            cand = self._cell_block(int(self._cell[i0, 0]), int(self._cell[i0, 1]))
+            if not cand.size:
+                for row in rows:
+                    out[row] = np.empty(0, dtype=np.int64)
+                continue
+            diff = pos[members][:, None, :] - pos[cand][None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            in_range = d2 <= self._r2
+            for local, row in enumerate(rows):
+                i = int(members[local])
+                hits = cand[in_range[local]]
+                out[row] = np.sort(hits[hits != i])
+        return out
+
     def _cell_block(self, cx: int, cy: int) -> np.ndarray:
         """Candidate node ids in the 3x3 cell block around ``(cx, cy)``."""
         chunks = []
         for dx in (-1, 0, 1):
-            base = (cx + dx) * self._stride + cy
+            base = (cx + dx) * _KSTRIDE + cy
             for dy in (-1, 0, 1):
                 members = self._grid.get(base + dy)
                 if members is not None:
@@ -410,6 +696,9 @@ class SparseGridTopology(TopologyBackend):
         return adj
 
     # -- CSR adjacency -------------------------------------------------
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._require_csr()
+
     def _require_csr(self) -> Tuple[np.ndarray, np.ndarray]:
         self.refresh()
         if self._csr is None:
@@ -423,7 +712,7 @@ class SparseGridTopology(TopologyBackend):
         nbr_lists: list[np.ndarray] = [None] * n  # type: ignore[list-item]
         empty = np.empty(0, dtype=np.int64)
         for key, members in self._grid.items():
-            cx, cy = divmod(key, self._stride)
+            cx, cy = divmod(key, _KSTRIDE)
             cand = self._cell_block(int(cx), int(cy))
             diff = self._pos[members][:, None, :] - self._pos[cand][None, :, :]
             d2 = np.einsum("ijk,ijk->ij", diff, diff)
@@ -474,6 +763,7 @@ def make_topology(
     world: "World",
     *,
     dist_cache_size: int = DEFAULT_DIST_CACHE,
+    delta: bool = True,
 ) -> TopologyBackend:
     """Instantiate a backend from a config string or a backend class."""
     if isinstance(spec, str):
@@ -486,4 +776,4 @@ def make_topology(
         cls = spec
     else:
         raise TypeError(f"topology must be a name or TopologyBackend class, got {spec!r}")
-    return cls(world, dist_cache_size=dist_cache_size)
+    return cls(world, dist_cache_size=dist_cache_size, delta=delta)

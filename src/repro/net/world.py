@@ -66,6 +66,11 @@ class World:
         Connectivity backend: ``"dense"`` (reference, default),
         ``"sparse"`` (grid-indexed, for large n), or a
         :class:`~repro.net.topology.TopologyBackend` subclass.
+    topology_delta:
+        Select the backend's incremental refresh lane (default).
+        ``False`` pins the full-rebuild reference lane: every snapshot
+        recomputes from scratch and flushes all memos.  Both lanes are
+        bit-identical (``tests/test_topology_delta.py``).
     dist_cache_size:
         LRU bound on memoized per-source hop-distance vectors.
     registry:
@@ -82,6 +87,7 @@ class World:
         energy: Optional[EnergyModel] = None,
         snapshot_interval: float = 0.0,
         topology: Union[str, Type[TopologyBackend]] = "dense",
+        topology_delta: bool = True,
         dist_cache_size: int = DEFAULT_DIST_CACHE,
         registry: Optional[Registry] = None,
     ) -> None:
@@ -118,7 +124,7 @@ class World:
         self.energy.on_depleted = self._up_ids.discard
         #: the pluggable connectivity backend
         self.topology: TopologyBackend = make_topology(
-            topology, self, dist_cache_size=dist_cache_size
+            topology, self, dist_cache_size=dist_cache_size, delta=topology_delta
         )
 
     # ------------------------------------------------------------------
@@ -140,6 +146,16 @@ class World:
         """Force the topology backend to recompute on the next query."""
         self.topology.invalidate()
 
+    @property
+    def adjacency_epoch(self) -> int:
+        """Counter advanced whenever the radio edge set may have changed.
+
+        Memoize graph-derived state against this, never against
+        timestamps: the epoch stands still across snapshot refreshes
+        that provably kept the adjacency (see DESIGN.md).
+        """
+        return self.topology.adjacency_epoch
+
     # ------------------------------------------------------------------
     # connectivity queries (delegated to the backend)
     # ------------------------------------------------------------------
@@ -152,6 +168,15 @@ class World:
         paths must use :meth:`link` / :meth:`neighbors` instead.
         """
         return self.topology.adjacency_matrix()
+
+    def csr(self):
+        """CSR adjacency ``(indptr, indices)`` of the current snapshot.
+
+        The zero-copy surface the vectorized graph kernels
+        (:mod:`repro.metrics.graphfast`) run on; do not mutate, and
+        re-fetch whenever :attr:`adjacency_epoch` advances.
+        """
+        return self.topology.csr()
 
     def link(self, i: int, j: int) -> bool:
         """Whether a radio link ``i``--``j`` exists right now."""

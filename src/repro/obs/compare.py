@@ -29,7 +29,9 @@ from .registry import Registry
 
 __all__ = [
     "SCHEDULER_COST_METRICS",
+    "TOPOLOGY_COST_METRICS",
     "is_scheduler_cost_key",
+    "is_cost_key",
     "semantic_snapshot",
     "semantic_timeseries",
     "snapshot_diff",
@@ -45,6 +47,24 @@ SCHEDULER_COST_METRICS: Tuple[str, ...] = (
     "kernel.events_skipped",
 )
 
+#: Metric names that measure topology *cache effort*, not connectivity.
+#: The delta refresh lane (``topology_delta=True``) legitimately rebuilds
+#: less, keeps the BFS distance cache warm across refreshes and builds
+#: fewer CSRs than the full-rebuild reference lane, so these counters
+#: differ between lanes while every query answer stays bit-identical.
+TOPOLOGY_COST_METRICS: Tuple[str, ...] = (
+    "topology.rebuilds",
+    "topology.delta_rebuilds",
+    "topology.moved_nodes",
+    "topology.dist_cache_hits",
+    "topology.csr_builds",
+)
+
+#: Prefix covering the vectorized graph-kernel counters
+#: (:mod:`repro.metrics.graphfast`): kernel invocation counts measure
+#: which analytics implementation ran, never what the simulation did.
+_GRAPHFAST_PREFIX = "graphfast."
+
 
 def is_scheduler_cost_key(key: str) -> bool:
     """Whether a flattened ``name{labels}`` key is a scheduler-cost metric."""
@@ -52,29 +72,40 @@ def is_scheduler_cost_key(key: str) -> bool:
     return name in SCHEDULER_COST_METRICS
 
 
+def is_cost_key(key: str) -> bool:
+    """Whether a flattened key measures *cost* (scheduler, topology cache
+    effort, or analytics-kernel invocations) rather than simulation
+    semantics.  The equivalence surface excludes exactly these."""
+    name = key.split("{", 1)[0]
+    return (
+        name in SCHEDULER_COST_METRICS
+        or name in TOPOLOGY_COST_METRICS
+        or name.startswith(_GRAPHFAST_PREFIX)
+    )
+
+
 def semantic_snapshot(
     registry: Registry, *, drop_labels: Tuple[str, ...] = ("node",)
 ) -> Dict[str, float]:
-    """Aggregated registry snapshot with scheduler-cost metrics removed.
+    """Aggregated registry snapshot with cost metrics removed.
 
     Wall-clock timers are also excluded (they measure the host, not the
     run).  Two runs of the same seeded scenario on different delivery
-    lanes must produce equal dicts.
+    lanes -- or different topology refresh lanes -- must produce equal
+    dicts.
     """
     return {
         k: v
         for k, v in registry.aggregated(
             drop_labels=drop_labels, skip_kinds=("timer",)
         ).items()
-        if not is_scheduler_cost_key(k)
+        if not is_cost_key(k)
     }
 
 
 def semantic_timeseries(rows: Iterable[Dict[str, float]]) -> List[Dict[str, float]]:
-    """Sampler rows with scheduler-cost columns removed (same contract)."""
-    return [
-        {k: v for k, v in row.items() if not is_scheduler_cost_key(k)} for row in rows
-    ]
+    """Sampler rows with cost columns removed (same contract)."""
+    return [{k: v for k, v in row.items() if not is_cost_key(k)} for row in rows]
 
 
 def snapshot_diff(

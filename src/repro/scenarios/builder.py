@@ -122,6 +122,7 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         energy=EnergyModel(cfg.num_nodes, capacity=cfg.energy_capacity),
         snapshot_interval=cfg.snapshot_interval,
         topology=cfg.resolved_topology,
+        topology_delta=cfg.topology_delta,
     )
     if cfg.mac == "csma":
         from ..net.mac import CsmaChannel

@@ -75,6 +75,11 @@ class ScenarioConfig:
     #: "sparse" (uniform-grid spatial index, for large n) or "auto"
     #: (sparse once num_nodes >= AUTO_SPARSE_THRESHOLD)
     topology: str = "dense"
+    #: incremental topology refresh (diff positions, re-bin only moved
+    #: nodes, keep caches while the adjacency provably holds).  Bit-
+    #: identical to the full-rebuild reference lane
+    #: (tests/test_topology_delta.py); False pins that reference lane.
+    topology_delta: bool = True
     #: whether the query plane runs (off for pure-reconfiguration studies)
     queries: bool = True
     #: batched broadcast delivery (one kernel event per transmission

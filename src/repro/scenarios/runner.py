@@ -186,7 +186,7 @@ def harvest(simulation: Simulation) -> RunResult:
         },
         totals={fam: metrics.total(fam) for fam in FAMILIES},
         file_stats=per_file_stats(records, cfg.num_files),
-        overlay_stats=smallworld_stats(simulation.overlay.graph()),
+        overlay_stats=smallworld_stats(simulation.overlay.graph(), registry=registry),
         energy=simulation.world.energy.consumed.copy(),
         num_queries=len(records),
         events=simulation.sim.events_dispatched,

@@ -11,7 +11,10 @@ from benchmarks.perf_suite import (
     BenchSchemaError,
     bench_broadcast_fanout,
     bench_kernel_throughput,
+    bench_topology_refresh,
     compare_fanout_lanes,
+    compare_metrics_kernels,
+    compare_topology_refresh,
     run_suite,
     validate_bench_dict,
 )
@@ -44,6 +47,29 @@ class TestWorkloads:
         thrice = bench_broadcast_fanout(60, rounds=5, repeats=3)
         assert once["events_dispatched"] == thrice["events_dispatched"]
         assert once["heap_pushes"] == thrice["heap_pushes"]
+        assert thrice["reps"] == 3
+        assert thrice["wall_seconds"] <= thrice["wall_mean"] <= thrice["wall_max"]
+
+    def test_topology_refresh_lanes_diverge_in_effort_only(self):
+        full = bench_topology_refresh(30, duration=3.0, delta=False)
+        fast = bench_topology_refresh(30, duration=3.0, delta=True)
+        # Same query stream, bit-identical answers...
+        assert full["params"]["fingerprint"] == fast["params"]["fingerprint"]
+        # ...but only the delta lane refreshed incrementally.
+        assert fast["delta_rebuilds"] > 0
+        assert full["delta_rebuilds"] == 0
+
+    def test_compare_topology_refresh_identical(self):
+        cmp_ = compare_topology_refresh(30, duration=3.0, seeds=(1, 2))
+        assert cmp_["semantically_identical"] is True
+        assert cmp_["seeds_checked"] == [1, 2]
+        assert cmp_["speedup"] > 0
+
+    def test_compare_metrics_kernels_exact(self):
+        cmp_ = compare_metrics_kernels(60)
+        assert cmp_["semantically_identical"] is True
+        assert cmp_["speedup"] > 0
+        assert cmp_["networkx"]["params"]["edges"] == cmp_["numpy"]["params"]["edges"]
 
 
 class TestSuiteDocument:
@@ -54,22 +80,44 @@ class TestSuiteDocument:
         assert doc["schema_version"] == BENCH_SCHEMA_VERSION
         assert doc["kind"] == BENCH_KIND
         names = {r["name"] for r in doc["results"]}
-        assert names == {"kernel_throughput", "broadcast_fanout", "scenario_e2e"}
+        assert names == {
+            "kernel_throughput",
+            "broadcast_fanout",
+            "scenario_e2e",
+            "topology_refresh",
+            "metrics_kernels",
+        }
 
     def test_committed_document_is_valid(self):
         path = os.path.join(REPO_ROOT, "BENCH_substrate.json")
         with open(path) as fh:
             doc = json.load(fh)
         validate_bench_dict(doc)
-        fanout = [
-            c
-            for c in doc["comparisons"]
-            if c["name"] == "broadcast_fanout" and c["n"] == 600
-        ]
+
+        def comparison(name, n):
+            found = [
+                c for c in doc["comparisons"] if c["name"] == name and c["n"] == n
+            ]
+            assert found, f"missing {name} comparison at n={n}"
+            return found[0]
+
         # The ISSUE 4 acceptance bar: >= 2x heap-event reduction at
         # n=600 with bit-identical semantics over the checked seeds.
-        assert fanout and fanout[0]["push_reduction"] >= 2.0
-        assert fanout[0]["semantically_identical"] is True
+        fanout = comparison("broadcast_fanout", 600)
+        assert fanout["push_reduction"] >= 2.0
+        assert fanout["semantically_identical"] is True
+        # ISSUE 5: both refresh lanes answer the query stream
+        # identically, and the vectorized metric kernels beat networkx
+        # by >= 5x at n=600.
+        refresh = comparison("topology_refresh", 600)
+        assert refresh["semantically_identical"] is True
+        kernels = comparison("metrics_kernels", 600)
+        assert kernels["semantically_identical"] is True
+        assert kernels["speedup"] >= 5.0
+        # Multi-rep timing: the full ladder records spread, not one shot.
+        for r in doc["results"]:
+            if r["name"] != "kernel_throughput":
+                assert r["reps"] >= 3
 
 
 class TestValidator:
@@ -117,5 +165,19 @@ class TestValidator:
     def test_bad_comparison_rejected(self):
         doc = self._minimal()
         doc["comparisons"] = [{"name": "x", "n": 5, "push_reduction": 2.0}]
+        with pytest.raises(BenchSchemaError):
+            validate_bench_dict(doc)
+
+    def test_comparison_without_push_reduction_accepted(self):
+        # Refresh/kernel comparisons are wall-clock only.
+        doc = self._minimal()
+        doc["comparisons"] = [{"name": "topology_refresh", "n": 5, "speedup": 1.4}]
+        validate_bench_dict(doc)
+
+    def test_non_numeric_push_reduction_rejected(self):
+        doc = self._minimal()
+        doc["comparisons"] = [
+            {"name": "x", "n": 5, "push_reduction": "big", "speedup": 1.0}
+        ]
         with pytest.raises(BenchSchemaError):
             validate_bench_dict(doc)

@@ -65,6 +65,36 @@ class TestReachablePairs:
         assert reachable_pair_fraction(world) == pytest.approx(4 / 12)
 
 
+class TestNoCachePollution:
+    """Analytics must observe the run, not perturb its caches.
+
+    ``connectivity_stats`` used to call ``world.hops_from`` once per
+    start node, evicting the protocol-hot entries (servent connection
+    maintenance, routing oracle) from the topology's LRU distance
+    cache.  It now runs on the uncached CSR kernel path.
+    """
+
+    def test_connectivity_stats_leaves_dist_cache_alone(self):
+        pts = np.random.default_rng(7).random((30, 2)) * 80
+        _, world, _ = make_world(pts, radio_range=12)
+        # Protocol-hot state: a few memoized BFS vectors.
+        for src in (0, 5, 9):
+            world.hops_from(src)
+        cached_before = set(world.topology._dist)
+        hits_before = world.topology.dist_cache_hits
+
+        connectivity_stats(world)
+        components(world)
+        reachable_pair_fraction(world)
+
+        # Neither the cache contents nor the hit counter moved.
+        assert set(world.topology._dist) == cached_before
+        assert world.topology.dist_cache_hits == hits_before
+        # The hot entries are still hits.
+        world.hops_from(5)
+        assert world.topology.dist_cache_hits == hits_before + 1
+
+
 class TestExpectedDegree:
     def test_paper_scenarios(self):
         # 50 nodes, 100x100, r=10: ~1.54 expected neighbours -- sparse!

@@ -1,0 +1,225 @@
+"""Delta topology refresh is bit-identical to the full-rebuild lane.
+
+The delta lane (``topology_delta=True``, the default) diffs positions
+against the previous snapshot, re-bins only nodes whose grid cell
+changed, and keeps the CSR / neighbor memos / BFS distance cache alive
+whenever it can prove no link flipped.  These tests are the proof
+obligation: full scenarios -- random-waypoint mobility, churn, finite
+energy, lossy/CSMA channels, dense and sparse backends, several seeds --
+must produce *semantically* equal registry snapshots, time series,
+energy ledgers and totals on both lanes (only the topology cache-effort
+counters enumerated in ``repro.obs.compare.TOPOLOGY_COST_METRICS`` may
+differ), plus unit coverage of the adjacency-epoch contract itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mobility import Area, RandomWaypoint, Static
+from repro.net import World
+from repro.obs.compare import (
+    TOPOLOGY_COST_METRICS,
+    is_cost_key,
+    semantic_snapshot,
+    semantic_timeseries,
+    snapshot_diff,
+)
+from repro.scenarios.builder import build_scenario
+from repro.scenarios.churn import ChurnProcess
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import harvest
+from repro.sim import Simulator
+
+SEEDS = (1, 2, 3)
+
+
+def advance(world, t):
+    world.sim.schedule_at(t, lambda: None)
+    world.sim.run(until=t)
+
+
+def _run_lane(seed: int, topology: str, delta: bool, *, churn: bool = True):
+    """One full scenario on one refresh lane; returns harvested evidence."""
+    cfg = ScenarioConfig(
+        num_nodes=40,
+        duration=40.0,
+        seed=seed,
+        # Exercise both non-ideal channels across the grid: collisions on
+        # the dense backend, probabilistic loss on the sparse one.
+        mac="csma" if topology == "dense" else "lossy",
+        energy_capacity=0.05,
+        topology=topology,
+        obs_interval=10.0,
+        topology_delta=delta,
+    )
+    simulation = build_scenario(cfg)
+    if churn:
+        ChurnProcess(
+            simulation.sim,
+            simulation.world,
+            np.random.default_rng(10_000 + seed),
+            death_rate=0.05,
+            mean_downtime=10.0,
+        ).start()
+    simulation.run()
+    result = harvest(simulation)
+    return {
+        "snapshot": semantic_snapshot(simulation.registry),
+        "timeseries": semantic_timeseries(result.timeseries),
+        "events": result.events,
+        "energy": result.energy,
+        "totals": result.totals,
+        "topology": simulation.world.topology,
+    }
+
+
+@pytest.mark.parametrize("topology", ["dense", "sparse"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lanes_bit_identical(seed, topology):
+    full = _run_lane(seed, topology, delta=False)
+    fast = _run_lane(seed, topology, delta=True)
+    # Full semantic registry snapshot: equal key sets, equal values.
+    assert snapshot_diff(full["snapshot"], fast["snapshot"]) == {}
+    # Sampled time-series rows match bit-for-bit too.
+    assert full["timeseries"] == fast["timeseries"]
+    # Derived figures agree exactly.
+    assert full["events"] == fast["events"]
+    assert full["totals"] == fast["totals"]
+    np.testing.assert_array_equal(full["energy"], fast["energy"])
+    # The delta lane really ran: it refreshed incrementally, the
+    # reference lane never did.
+    assert fast["topology"].delta_rebuilds > 0
+    assert fast["topology"].moved_nodes > 0
+    assert full["topology"].delta_rebuilds == 0
+
+
+def test_topology_cost_keys_classified():
+    for name in TOPOLOGY_COST_METRICS:
+        assert is_cost_key(name)
+    assert is_cost_key("topology.dist_cache_hits{backend=sparse,layer=topology}")
+    assert is_cost_key("graphfast.bfs_sources{layer=metrics}")
+    assert is_cost_key("kernel.heap_pushes")
+    assert not is_cost_key("kernel.events_dispatched")
+    assert not is_cost_key("radio.frames_delivered")
+
+
+# ----------------------------------------------------------------------
+# adjacency-epoch contract (unit level)
+# ----------------------------------------------------------------------
+def _static_world(n, topology, delta=True, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * 60.0
+    mobility = Static(n, Area(1000.0, 1000.0), rng, positions=pts)
+    sim = Simulator()
+    world = World(
+        sim, mobility, radio_range=12.0, topology=topology, topology_delta=delta
+    )
+    return world
+
+
+def _waypoint_world(n, topology, delta, seed=0):
+    mobility = RandomWaypoint(
+        n, Area(60.0, 60.0), np.random.default_rng(seed), max_speed=8.0, max_pause=1.0
+    )
+    sim = Simulator()
+    world = World(
+        sim, mobility, radio_range=12.0, topology=topology, topology_delta=delta
+    )
+    return world
+
+
+@pytest.mark.parametrize("topology", ["dense", "sparse"])
+class TestAdjacencyEpoch:
+    def test_epoch_stands_still_when_nothing_moves(self, topology):
+        world = _static_world(12, topology)
+        world.neighbors(0)
+        e0 = world.adjacency_epoch
+        for t in (1.0, 2.0, 3.0):
+            advance(world, t)
+            world.neighbors(0)
+        # Static nodes: every refresh proves the adjacency unchanged.
+        assert world.adjacency_epoch == e0
+        assert world.topology.delta_rebuilds == 3
+
+    def test_dist_cache_survives_static_refreshes(self, topology):
+        world = _static_world(12, topology)
+        world.hops_from(0)
+        hits0 = world.topology.dist_cache_hits
+        advance(world, 5.0)
+        world.hops_from(0)  # same epoch: memoized vector must survive
+        assert world.topology.dist_cache_hits == hits0 + 1
+
+    def test_full_lane_always_advances_epoch(self, topology):
+        world = _static_world(12, topology, delta=False)
+        world.neighbors(0)
+        e0 = world.adjacency_epoch
+        advance(world, 1.0)
+        world.neighbors(0)
+        assert world.adjacency_epoch == e0 + 1
+        assert world.topology.delta_rebuilds == 0
+
+    def test_invalidate_advances_epoch(self, topology):
+        world = _static_world(12, topology)
+        world.neighbors(0)
+        e0 = world.adjacency_epoch
+        world.set_down(3)
+        assert world.adjacency_epoch > e0
+
+    def test_motion_that_changes_links_advances_epoch(self, topology):
+        world = _waypoint_world(20, topology, delta=True, seed=2)
+        world.hops_from(0)
+        e0 = world.adjacency_epoch
+        # 10 s at up to 8 m/s across a 60 m square must flip some link.
+        advance(world, 10.0)
+        world.hops_from(0)
+        assert world.adjacency_epoch > e0
+
+
+class TestSparseDeltaInternals:
+    def test_csr_survives_static_refreshes(self):
+        world = _static_world(15, "sparse")
+        world.degrees()  # forces a CSR build
+        builds0 = world.topology.csr_builds
+        for t in (1.0, 2.0):
+            advance(world, t)
+            world.degrees()
+        assert world.topology.csr_builds == builds0
+
+    def test_moved_nodes_counted(self):
+        world = _waypoint_world(20, "sparse", delta=True, seed=3)
+        world.neighbors(0)
+        advance(world, 5.0)
+        world.neighbors(0)
+        assert world.topology.moved_nodes > 0
+
+    def test_failed_proofs_back_off(self):
+        # Sustained fast motion: the adjacency-change proof keeps
+        # failing, so the backend must stop paying for it (the skip
+        # window opens) while answers stay correct (covered by the
+        # lockstep test below).
+        world = _waypoint_world(8, "sparse", delta=True, seed=1)
+        world.hops_from(0)  # a cache exists, so proofs are attempted
+        saw_skip = False
+        for t in np.linspace(0.5, 12.0, 24):
+            advance(world, float(t))
+            world.hops_from(0)
+            saw_skip = saw_skip or world.topology._prove_skip > 0
+        assert saw_skip
+        assert world.topology._prove_fail_streak > 0
+
+
+@pytest.mark.parametrize("topology", ["dense", "sparse"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lockstep_queries_identical_under_mobility(seed, topology):
+    """Every query answer matches the full-rebuild lane at every step."""
+    fast = _waypoint_world(25, topology, delta=True, seed=seed)
+    full = _waypoint_world(25, topology, delta=False, seed=seed)
+    for t in np.linspace(0.5, 20.0, 14):
+        advance(fast, float(t))
+        advance(full, float(t))
+        for i in range(25):
+            np.testing.assert_array_equal(fast.neighbors(i), full.neighbors(i))
+        for src in (0, 7, 19):
+            np.testing.assert_array_equal(fast.hops_from(src), full.hops_from(src))
+        np.testing.assert_array_equal(fast.degrees(), full.degrees())
+        np.testing.assert_array_equal(fast.adjacency(), full.adjacency())
