@@ -77,6 +77,38 @@ def _registry(registry: Optional[Registry]) -> Registry:
     return registry if registry is not None else default_registry()
 
 
+if hasattr(np, "bitwise_count"):
+
+    def _popcount(a: np.ndarray) -> int:
+        return int(np.bitwise_count(a).sum())
+
+else:  # NumPy < 2.0 has no bitwise_count ufunc
+
+    def _popcount(a: np.ndarray) -> int:
+        return int(np.unpackbits(np.ascontiguousarray(a).view(np.uint8)).sum())
+
+
+def _nonempty_starts(
+    indptr: np.ndarray, deg: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(rows, starts)`` of the non-empty CSR rows, for ``reduceat``.
+
+    ``reduceat`` segments run start-to-next-start, so feeding it one
+    start per row breaks when a row is empty: an empty row's start
+    equals the next row's (zero-length segments are illegal -- reduceat
+    would read one element), and trailing empty rows carry
+    ``start == len(indices)``, out of bounds.  Clamping the starts is
+    *not* a fix -- it silently shortens the last non-empty row's
+    segment, dropping its final neighbor from the OR-reduction.
+    Restricting the starts to non-empty rows makes every segment span
+    exactly that row's neighbors (empty rows between two non-empty ones
+    share a boundary and vanish); callers scatter the reduction back
+    with ``out[rows] = reduceat(...)``.
+    """
+    rows = np.flatnonzero(deg > 0)
+    return rows, indptr[:-1][rows]
+
+
 def graph_csr(g) -> Tuple[np.ndarray, np.ndarray, List]:
     """CSR adjacency of a networkx graph: ``(indptr, indices, nodes)``.
 
@@ -134,10 +166,7 @@ def multi_source_hops(
     if len(src) == 0 or n == 0:
         return out
     deg = np.diff(indptr)
-    zero_rows = deg == 0
-    # reduceat indices must stay in-bounds even when trailing rows are
-    # empty (indptr entries == len(indices)); those rows are masked out.
-    safe_starts = np.minimum(indptr[:-1], max(0, len(indices) - 1))
+    nz_rows, nz_starts = _nonempty_starts(indptr, deg)
     for lo in range(0, len(src), max(1, int(chunk))):
         block = src[lo : lo + max(1, int(chunk))]
         width = len(block)
@@ -154,8 +183,10 @@ def multi_source_hops(
         d = 0
         while True:
             d += 1
-            nxt = np.bitwise_or.reduceat(frontier[indices], safe_starts, axis=0)
-            nxt[zero_rows] = 0
+            nxt = np.zeros_like(visited)
+            nxt[nz_rows] = np.bitwise_or.reduceat(
+                frontier[indices], nz_starts, axis=0
+            )
             new = nxt & ~visited
             if not new.any():
                 break
@@ -350,8 +381,7 @@ def path_length_sums(
     pairs = 0
     if n and len(indices):
         deg = np.diff(indptr)
-        zero_rows = deg == 0
-        safe_starts = np.minimum(indptr[:-1], len(indices) - 1)
+        nz_rows, nz_starts = _nonempty_starts(indptr, deg)
         step = max(1, int(chunk))
         for lo in range(0, n, step):
             block = np.arange(lo, min(lo + step, n), dtype=np.int64)
@@ -364,12 +394,12 @@ def path_length_sums(
             frontier = visited.copy()
             counts = [width]  # pairs reached by end of level d
             while True:
-                nxt = np.bitwise_or.reduceat(
-                    frontier[indices], safe_starts, axis=0
+                nxt = np.zeros_like(visited)
+                nxt[nz_rows] = np.bitwise_or.reduceat(
+                    frontier[indices], nz_starts, axis=0
                 )
-                nxt[zero_rows] = 0
                 new = nxt & ~visited
-                grew = int(np.bitwise_count(new).sum())
+                grew = _popcount(new)
                 if grew == 0:
                     break
                 visited |= new

@@ -155,6 +155,93 @@ def test_triangle_sparse_fallback_matches_dense():
     np.testing.assert_array_equal(dense, sparse)
 
 
+def isolated_tail_graph(seed, tail=3, **kw):
+    """An RGG whose ``tail`` highest-id nodes are stripped of all edges.
+
+    Produces a CSR with *trailing empty rows* (``indptr`` entries equal
+    to ``len(indices)``), the shape that once broke the ``reduceat``
+    segmentation by clamping the last non-empty row's segment.
+    """
+    g = rgg_graph(seed, **kw)
+    n = g.number_of_nodes()
+    for v in range(n - tail, n):
+        for u in list(g.neighbors(v)):
+            g.remove_edge(v, u)
+    return g
+
+
+def test_last_nonempty_row_keeps_all_neighbors():
+    # Minimal regression: node 3 isolated -> row 2 is the last non-empty
+    # CSR row and has two neighbors; a clamped reduceat start used to
+    # drop neighbor 1 from its OR-reduction.
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edges_from([(0, 2), (1, 2)])
+    indptr, indices, _ = graph_csr(g)
+    dist = multi_source_hops(indptr, indices, range(4))
+    u = UNREACHABLE
+    assert dist.tolist() == [
+        [0, 2, 1, u],
+        [2, 0, 1, u],
+        [1, 1, 0, u],
+        [u, u, u, 0],
+    ]
+    assert path_length_sums(indptr, indices) == (8, 6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestTrailingEmptyRows:
+    """Oracle exactness when the max-id rows of the CSR are empty."""
+
+    def test_hops_match_networkx(self, seed):
+        g = isolated_tail_graph(seed)
+        indptr, indices, nodes = graph_csr(g)
+        n = len(nodes)
+        # The scenario under test: trailing rows empty, and the last
+        # non-empty row has >= 2 neighbors (so a dropped final neighbor
+        # would be observable).
+        assert indptr[-1] == len(indices)
+        last = max(v for v in range(n) if g.degree[v] > 0)
+        assert last < n - 1 and g.degree[last] >= 2
+        dist = multi_source_hops(indptr, indices, range(n), chunk=7)
+        sp = dict(nx.all_pairs_shortest_path_length(g))
+        for i in range(n):
+            for j in range(n):
+                assert dist[i, j] == sp[i].get(j, UNREACHABLE)
+
+    def test_path_length_sums_match_networkx(self, seed):
+        g = isolated_tail_graph(seed)
+        indptr, indices, _ = graph_csr(g)
+        want_total = want_pairs = 0
+        for _, lengths in nx.all_pairs_shortest_path_length(g):
+            for d in lengths.values():
+                if d > 0:
+                    want_total += d
+                    want_pairs += 1
+        assert path_length_sums(indptr, indices) == (want_total, want_pairs)
+
+    def test_components_and_clustering(self, seed):
+        g = isolated_tail_graph(seed)
+        indptr, indices, _ = graph_csr(g)
+        labels = component_labels(indptr, indices)
+        for comp in nx.connected_components(g):
+            want = min(comp)
+            for v in comp:
+                assert labels[v] == want
+        assert average_clustering(indptr, indices) == nx.average_clustering(g)
+
+
+def test_popcount_fallback_matches_bitwise_count():
+    import repro.metrics.graphfast as gf
+
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, np.iinfo(np.uint64).max, size=(13, 3), dtype=np.uint64)
+    want = sum(bin(int(x)).count("1") for x in a.ravel())
+    assert gf._popcount(a) == want
+    # The pre-NumPy-2.0 formulation must agree with the ufunc path.
+    assert int(np.unpackbits(np.ascontiguousarray(a).view(np.uint8)).sum()) == want
+
+
 def test_empty_and_trivial_graphs():
     g = nx.Graph()
     indptr, indices, _ = graph_csr(g)
@@ -224,6 +311,21 @@ class TestWorldAnalytics:
         rng = np.random.default_rng(seed)
         for i in rng.choice(world.n, size=10, replace=False):
             world.set_down(int(i))
+        got = components(world)
+        want = reference_components(world)
+        assert [len(c) for c in got] == [len(c) for c in want]
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+        assert reachable_pair_fraction(world) == (
+            sum(len(c) * (len(c) - 1) for c in want) / (world.n * (world.n - 1))
+        )
+
+    def test_down_nodes_at_max_ids(self, seed, topology):
+        # Downing the highest ids empties the trailing CSR rows on the
+        # analytics path -- the reduceat-segmentation regression shape.
+        world = rgg_world(seed, topology)
+        for i in range(world.n - 4, world.n):
+            world.set_down(i)
         got = components(world)
         want = reference_components(world)
         assert [len(c) for c in got] == [len(c) for c in want]
