@@ -6,6 +6,8 @@ position evaluation, the O(n^2) adjacency snapshot, and the vectorized
 BFS.  They exist to catch performance regressions, not paper claims.
 """
 
+import os
+
 import numpy as np
 
 from repro.mobility import Area, RandomWaypoint
@@ -68,6 +70,42 @@ def test_kernel_event_throughput(benchmark):
 
     n = benchmark(dispatch_10k)
     assert n == 10_000
+
+
+# Queue-op throughput, heap vs calendar lane.  The default 1e4 events
+# keeps CI fast; set REPRO_QUEUE_BENCH_N=100000 (or 1000000) to probe
+# the asymptotic regime where the heap's O(log n) Python-level
+# comparisons separate from the calendar's O(1) amortized inserts.
+QUEUE_BENCH_N = int(os.environ.get("REPRO_QUEUE_BENCH_N", "10000"))
+
+
+def _queue_churn(queue, n=QUEUE_BENCH_N):
+    """Push n events (LCG delays), cancel every 4th, drain the rest."""
+    sim = Simulator(queue=queue)
+    state = 1
+    handles = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        handles.append(sim.schedule(state / (1 << 31) * 100.0, lambda: None))
+    for ev in handles[::4]:
+        ev.cancel()
+    sim.run()
+    return sim
+
+
+def test_queue_ops_heap(benchmark):
+    sim = benchmark(lambda: _queue_churn("heap"))
+    assert sim.pending() == 0
+
+
+def test_queue_ops_calendar(benchmark):
+    sim = benchmark(lambda: _queue_churn("calendar"))
+    assert sim.pending() == 0
+    # Identical push/cancel/drain accounting on both lanes.
+    ref = _queue_churn("heap")
+    assert sim.events_dispatched == ref.events_dispatched
+    assert sim.events_skipped == ref.events_skipped
+    assert sim.heap_compactions == ref.heap_compactions
 
 
 def _flood_round(batched):

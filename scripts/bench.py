@@ -70,6 +70,21 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--sizes", type=int, nargs="+", default=None, help="node-count ladder override"
     )
+    ap.add_argument(
+        "--metro",
+        type=int,
+        default=None,
+        metavar="N",
+        help="metro-flagship node count (default: 10000 on the full "
+        "suite, skipped on --quick; 0 disables it outright)",
+    )
+    ap.add_argument(
+        "--metro-duration",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="metro-flagship sim horizon in seconds (short for CI smoke)",
+    )
     ap.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
     ap.add_argument(
         "--validate",
@@ -93,6 +108,8 @@ def main(argv=None) -> int:
     doc = run_suite(
         quick=args.quick,
         sizes=args.sizes,
+        metro=args.metro,
+        metro_duration=args.metro_duration,
         log=lambda msg: print(f"[bench] {msg}", file=sys.stderr),
     )
     out = os.path.abspath(args.out)

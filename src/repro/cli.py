@@ -94,6 +94,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         topology=args.topology,
         topology_delta=args.topology_refresh != "full",
+        queue=args.queue,
     )
     store = None
     if args.store:
@@ -155,6 +156,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             seed=args.seed,
             topology=args.topology,
             topology_delta=args.topology_refresh != "full",
+            queue=args.queue,
         )
     )
     s.run()
@@ -197,6 +199,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology=args.topology,
         topology_delta=args.topology_refresh != "full",
         obs_interval=args.obs_interval,
+        queue=args.queue,
     )
     res = run_scenario(cfg)
     if args.store:
@@ -281,6 +284,13 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
         default="delta",
         help="snapshot refresh lane: incremental delta (default) or the "
         "full-rebuild reference lane (bit-identical results)",
+    )
+    parser.add_argument(
+        "--queue",
+        choices=("calendar", "heap"),
+        default="calendar",
+        help="kernel event queue: calendar (O(1)-amortized, default) or "
+        "the binary-heap reference lane (bit-identical dispatch order)",
     )
 
 

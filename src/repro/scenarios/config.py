@@ -28,6 +28,7 @@ _MOBILITY_MODELS = (
 _ROUTINGS = ("aodv", "dsdv", "dsr", "oracle")
 _ALGORITHMS = ("basic", "regular", "random", "hybrid")
 _TOPOLOGIES = ("dense", "sparse", "auto")
+_QUEUES = ("calendar", "heap")
 
 #: "auto" topology switches to the sparse grid backend at this node count.
 AUTO_SPARSE_THRESHOLD = 400
@@ -90,6 +91,12 @@ class ScenarioConfig:
     #: sim-time interval between observability samples; 0 disables the
     #: sampler (counters still accumulate, no time series is recorded)
     obs_interval: float = 0.0
+    #: kernel pending-event structure: "calendar" (O(1)-amortized
+    #: calendar queue, the default) or "heap" (binary-heap reference
+    #: lane).  Dispatch order is bit-identical between the two
+    #: (tests/test_queue_equivalence.py); "heap" pins the reference
+    #: lane for A/B comparison.
+    queue: str = "calendar"
 
     p2p: P2pConfig = field(default_factory=P2pConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
@@ -109,6 +116,8 @@ class ScenarioConfig:
             raise ValueError(f"unknown mobility model {self.mobility!r}")
         if self.topology not in _TOPOLOGIES:
             raise ValueError(f"unknown topology backend {self.topology!r}")
+        if self.queue not in _QUEUES:
+            raise ValueError(f"unknown queue kind {self.queue!r}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.obs_interval < 0:

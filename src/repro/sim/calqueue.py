@@ -1,0 +1,381 @@
+"""Event-queue lanes for the discrete-event kernel.
+
+The kernel's pending-event set is a pluggable structure with two
+implementations behind one tiny protocol (``push`` / ``pop`` / ``peek``
+/ ``drop_cancelled`` / ``len`` / iteration over raw entries):
+
+* :class:`HeapQueue` -- the original ``heapq`` binary heap.  Every push
+  and pop is O(log n) *Python-level* ``Event.__lt__`` comparisons, which
+  is what dominates flood-heavy runs once batching and incremental
+  topology refresh removed the other hot paths.
+* :class:`CalendarQueue` -- a self-calibrating calendar queue (Brown
+  1988, with a ladder-style overflow tier).  Events are binned by time
+  into an array of buckets covering a sliding window; pushes into a
+  future bucket are a plain ``list.append`` with **zero comparisons**,
+  and a bucket is sorted exactly once (C timsort over precomputed
+  ``(time, priority, seq)`` key tuples) when the dispatch cursor reaches
+  it.  Amortized O(1) per event.
+
+Identical-order contract
+------------------------
+Both lanes dispatch raw entries in exactly the same total order: the
+strict ``(time, priority, seq)`` key (``seq`` is unique, so the order is
+a total order with no ties left to break).  The calendar lane preserves
+it structurally:
+
+* the time axis is partitioned monotonically into buckets, so every
+  entry in bucket *i* orders before every entry in bucket *j > i* and
+  before everything in the overflow tier (times >= the window end);
+* within a bucket the full key sorts entries, so same-time entries keep
+  their priority/seq order;
+* entries scheduled *into the current bucket while it is being consumed*
+  (zero-delay timers and protocol cascades do this constantly) are
+  placed by ``bisect.insort`` at or after the consumption cursor --
+  exactly where the heap would surface them;
+* floating-point bucket-index rounding is clamped onto the current
+  bucket, never an earlier one, and the index map stays monotone in
+  time, so rounding can never reorder two entries.
+
+Cancellation stays lazy exactly as on the heap: cancelled entries are
+popped and skipped by the kernel (which owns all the accounting), and
+:meth:`drop_cancelled` implements the kernel's compaction pass.
+
+Self-calibration
+----------------
+The bucket width is sampled from live inter-event gaps: whenever the
+structure re-windows (the current window is exhausted and the overflow
+tier is pulled forward -- a *spill*) or rebuilds because occupancy
+drifted past the resize threshold (a *resize*), a stride sample of the
+pending event times sets ``width = mean positive gap * TARGET_OCCUPANCY``
+and the bucket count tracks the pending-entry count.  Degenerate
+distributions degrade gracefully: all-same-time workloads collapse into
+one bucket (one sort -- the heap's behaviour), monotone drift marches
+the window forward one spill at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import insort
+from typing import Iterator, List, Optional
+
+from .events import Event
+
+__all__ = ["HeapQueue", "CalendarQueue"]
+
+#: Bucket-count clamp for the calendar lane.
+MIN_BUCKETS = 8
+MAX_BUCKETS = 1 << 16
+
+#: Calibration aims for this many entries per bucket; a rebuild is
+#: triggered when mean occupancy exceeds :data:`GROW_OCCUPANCY`.
+TARGET_OCCUPANCY = 4.0
+GROW_OCCUPANCY = 16.0
+
+#: At most this many pending times are sampled (by stride) per width
+#: calibration; keeps rebuilds O(n) with a tiny constant.
+GAP_SAMPLE = 64
+
+#: Key function shared by bucket sorts and current-bucket insorts.
+_SORT_KEY = Event.sort_key
+
+
+class _Cell:
+    """Minimal stand-in for an obs Counter (bare ``value`` attribute)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class HeapQueue:
+    """``heapq``-backed reference lane (the kernel's original structure)."""
+
+    kind = "heap"
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def push(self, ev: Event) -> None:
+        heapq.heappush(self._heap, ev)
+
+    def pop(self) -> Optional[Event]:
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def drop_cancelled(self) -> int:
+        """Remove every cancelled entry; returns how many were purged."""
+        live = [ev for ev in self._heap if not ev.cancelled]
+        purged = len(self._heap) - len(live)
+        if purged:
+            heapq.heapify(live)
+            self._heap = live
+        return purged
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._heap)
+
+
+class CalendarQueue:
+    """Calendar/ladder queue dispatching in exact heap order.
+
+    Parameters
+    ----------
+    resize_counter, spill_counter:
+        Objects with a ``value`` attribute (obs ``Counter`` instances in
+        production) incremented on occupancy-driven rebuilds and on
+        overflow re-windowing respectively.  Private cells are used when
+        not supplied (standalone/test use).
+    """
+
+    kind = "calendar"
+    __slots__ = (
+        "_buckets",
+        "_overflow",
+        "_start",
+        "_width",
+        "_inv_width",
+        "_end",
+        "_cur_idx",
+        "_pos",
+        "_cur_sorted",
+        "_size",
+        "_c_resizes",
+        "_c_spills",
+        "migrated",
+    )
+
+    def __init__(self, *, resize_counter=None, spill_counter=None) -> None:
+        self._width = 1.0
+        self._inv_width = 1.0
+        self._start = 0.0
+        self._end = float(MIN_BUCKETS)
+        self._buckets: List[List[Event]] = [[] for _ in range(MIN_BUCKETS)]
+        self._overflow: List[Event] = []
+        self._cur_idx = 0
+        self._pos = 0
+        self._cur_sorted = False
+        self._size = 0
+        self._c_resizes = resize_counter if resize_counter is not None else _Cell()
+        self._c_spills = spill_counter if spill_counter is not None else _Cell()
+        #: entries moved out of the overflow tier into buckets, total
+        self.migrated = 0
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def resizes(self) -> int:
+        """Occupancy-driven full rebuilds performed."""
+        return self._c_resizes.value
+
+    @property
+    def spills(self) -> int:
+        """Overflow re-windowings performed (window exhausted)."""
+        return self._c_spills.value
+
+    @property
+    def nbuckets(self) -> int:
+        return len(self._buckets)
+
+    def occupancy(self) -> float:
+        """Mean raw entries per bucket (the calibration operating point)."""
+        return self._size / len(self._buckets)
+
+    # ------------------------------------------------------------------
+    # queue protocol
+    # ------------------------------------------------------------------
+    def push(self, ev: Event) -> None:
+        t = ev.time
+        if t >= self._end:
+            self._overflow.append(ev)
+        else:
+            idx = int((t - self._start) * self._inv_width)
+            cur = self._cur_idx
+            if idx <= cur:
+                # Current bucket (or an FP round-down onto a consumed
+                # one, clamped forward).  While the bucket is live the
+                # insort lands the entry at/after the cursor -- exactly
+                # where the heap would surface it.
+                if self._cur_sorted:
+                    insort(self._buckets[cur], ev, lo=self._pos, key=_SORT_KEY)
+                else:
+                    self._buckets[cur].append(ev)
+            else:
+                b = self._buckets
+                b[idx if idx < len(b) else -1].append(ev)
+        self._size += 1
+        if (
+            self._size > len(self._buckets) * GROW_OCCUPANCY
+            and len(self._buckets) < MAX_BUCKETS
+        ):
+            self._rebuild(resize=True)
+
+    def peek(self) -> Optional[Event]:
+        if self._size == 0:
+            return None
+        while True:
+            buckets = self._buckets
+            cur = buckets[self._cur_idx]
+            if self._cur_sorted:
+                if self._pos < len(cur):
+                    return cur[self._pos]
+            elif cur:
+                cur.sort(key=_SORT_KEY)
+                self._cur_sorted = True
+                self._pos = 0
+                return cur[0]
+            # Current bucket exhausted: free consumed storage, advance
+            # the cursor to the next non-empty bucket, or re-window from
+            # the overflow tier when the whole window is spent.
+            if cur:
+                buckets[self._cur_idx] = []
+            nxt = None
+            for i in range(self._cur_idx + 1, len(buckets)):
+                if buckets[i]:
+                    nxt = i
+                    break
+            if nxt is not None:
+                self._cur_idx = nxt
+                self._cur_sorted = False
+                self._pos = 0
+            else:
+                self._rebuild(resize=False)
+
+    def pop(self) -> Optional[Event]:
+        if self._cur_sorted:
+            cur = self._buckets[self._cur_idx]
+            pos = self._pos
+            if pos < len(cur):
+                self._pos = pos + 1
+                self._size -= 1
+                return cur[pos]
+        ev = self.peek()
+        if ev is None:
+            return None
+        self._pos += 1
+        self._size -= 1
+        return ev
+
+    def drop_cancelled(self) -> int:
+        """Remove every cancelled entry; returns how many were purged.
+
+        The current bucket keeps only its unconsumed tail (order
+        preserved, cursor reset), so consumed entries are never counted
+        and the kernel's ``events_skipped`` accounting stays exact.
+        """
+        purged = 0
+        buckets = self._buckets
+        cur = buckets[self._cur_idx]
+        if self._cur_sorted:
+            tail = [ev for ev in cur[self._pos :] if not ev.cancelled]
+            purged += len(cur) - self._pos - len(tail)
+            buckets[self._cur_idx] = tail
+            self._pos = 0
+        elif cur:
+            kept = [ev for ev in cur if not ev.cancelled]
+            purged += len(cur) - len(kept)
+            buckets[self._cur_idx] = kept
+        for i in range(self._cur_idx + 1, len(buckets)):
+            b = buckets[i]
+            if b:
+                kept = [ev for ev in b if not ev.cancelled]
+                purged += len(b) - len(kept)
+                buckets[i] = kept
+        if self._overflow:
+            kept = [ev for ev in self._overflow if not ev.cancelled]
+            purged += len(self._overflow) - len(kept)
+            self._overflow = kept
+        self._size -= purged
+        return purged
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Event]:
+        cur = self._buckets[self._cur_idx]
+        yield from (cur[self._pos :] if self._cur_sorted else cur)
+        for i in range(self._cur_idx + 1, len(self._buckets)):
+            yield from self._buckets[i]
+        yield from self._overflow
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+    def _rebuild(self, *, resize: bool) -> None:
+        """Re-window around the pending entries, recalibrating width.
+
+        ``resize=True`` is the occupancy-drift trigger (everything
+        pending is redistributed); ``resize=False`` is a *spill* -- the
+        window is exhausted and the overflow tier is pulled forward.
+        Either way the new window starts at the minimum pending time, so
+        the next ``peek`` always finds bucket 0 non-empty and the
+        structure provably makes progress.
+        """
+        events = list(self)
+        if resize:
+            self._c_resizes.value += 1
+        else:
+            self._c_spills.value += 1
+        if not events:
+            self._buckets = [[] for _ in range(MIN_BUCKETS)]
+            self._overflow = []
+            self._end = self._start + len(self._buckets) * self._width
+            self._cur_idx = 0
+            self._pos = 0
+            self._cur_sorted = False
+            return
+        tmin = min(ev.time for ev in events)
+        n = len(events)
+        nb = 1 << max(0, (max(MIN_BUCKETS, int(n / TARGET_OCCUPANCY))).bit_length() - 1)
+        nb = max(MIN_BUCKETS, min(MAX_BUCKETS, nb))
+        width = self._sample_width(events)
+        end = tmin + nb * width
+        if end <= tmin:  # width vanished under FP at a huge clock value
+            width = max(1.0, math.ulp(tmin) * nb)
+            end = tmin + nb * width
+        self._start = tmin
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._end = end
+        buckets: List[List[Event]] = [[] for _ in range(nb)]
+        overflow: List[Event] = []
+        start = tmin
+        inv = self._inv_width
+        for ev in events:
+            t = ev.time
+            if t >= end:
+                overflow.append(ev)
+            else:
+                i = int((t - start) * inv)
+                buckets[i if i < nb else -1].append(ev)
+        self._buckets = buckets
+        self._overflow = overflow
+        self._cur_idx = 0
+        self._pos = 0
+        self._cur_sorted = False
+        self.migrated += n - len(overflow)
+
+    @staticmethod
+    def _sample_width(events: List[Event]) -> float:
+        """Bucket width from a stride sample of live inter-event gaps."""
+        stride = max(1, len(events) // GAP_SAMPLE)
+        times = sorted(ev.time for ev in events[::stride])
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        if not gaps:
+            return 1.0
+        return (sum(gaps) / len(gaps)) * TARGET_OCCUPANCY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CalendarQueue size={self._size} buckets={len(self._buckets)} "
+            f"width={self._width:.3g} overflow={len(self._overflow)}>"
+        )

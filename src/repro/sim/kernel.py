@@ -1,47 +1,58 @@
 """Discrete-event simulation kernel.
 
 A minimal, deterministic event loop in the style of ns-2's scheduler:
-a binary heap of :class:`~repro.sim.events.Event` records ordered by
-``(time, priority, seq)``.  All higher layers (radio, AODV, the p2p
-overlay) schedule plain callbacks or generator-based processes on a
-single :class:`Simulator` instance.
+a pending-event queue of :class:`~repro.sim.events.Event` records
+ordered by ``(time, priority, seq)``.  All higher layers (radio, AODV,
+the p2p overlay) schedule plain callbacks or generator-based processes
+on a single :class:`Simulator` instance.
 
 Design notes
 ------------
+* The pending-event structure is a pluggable *queue lane*
+  (:mod:`repro.sim.calqueue`): ``queue="calendar"`` (the default) is a
+  self-calibrating calendar queue with O(1) amortized insert;
+  ``queue="heap"`` keeps the original binary heap as the reference
+  lane.  Both lanes dispatch in the exact same total order (``seq`` is
+  unique, so the order admits no tie-breaking freedom), which the
+  equivalence suites prove end-to-end.
 * Cancellation is lazy (events carry a ``cancelled`` flag and are skipped
   when popped) so cancelling the thousands of ping timeouts a p2p run
   creates is O(1) each.  To keep lazy cancellation from bloating the
-  heap on long runs, the kernel counts dead entries and *compacts* (one
-  O(live) filter + heapify) whenever cancelled events outnumber live
+  queue on long runs, the kernel counts dead entries and *compacts* (one
+  O(live) filter pass) whenever cancelled events outnumber live
   ones; ``events_skipped`` and ``heap_compactions`` expose the cost.
 * The live-event count is maintained incrementally (+1 on schedule, -1
   on dispatch or cancel), so ``pending()`` / ``len(sim)`` / the obs
-  sampler's snapshots are O(1) instead of an O(heap) scan per call.
-* An event may carry ``weight=k``: one heap entry standing for k logical
+  sampler's snapshots are O(1) instead of an O(queue) scan per call.
+* An event may carry ``weight=k``: one queue entry standing for k logical
   events (batched broadcast delivery).  Dispatch counts the weight, so
   ``events_dispatched`` is comparable across batched and unbatched
-  schedules; ``heap_pushes`` counts raw heap traffic and shows the
+  schedules; ``heap_pushes`` counts raw queue traffic (the name predates
+  the calendar lane and is kept for trajectory continuity) and shows the
   batching win.
 * The kernel never advances past ``run(until=...)``; events beyond the
   horizon stay queued, which lets callers resume the same simulation
   (``run`` may be called repeatedly with increasing horizons).
 * ``now`` is a float in seconds.  Events scheduled "now" with a zero
-  delay still go through the heap, preserving the priority/seq order.
+  delay still go through the queue, preserving the priority/seq order.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from ..obs.registry import Registry
+from .calqueue import CalendarQueue, HeapQueue
 from .events import Event, Priority
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "QUEUE_KINDS"]
 
-#: Below this queue length compaction is pointless (heapify overhead
+#: Below this queue length compaction is pointless (rebuild overhead
 #: would dominate); lazy skipping on pop handles small queues fine.
 MIN_COMPACT_SIZE = 64
+
+#: Selectable pending-event structures (see :mod:`repro.sim.calqueue`).
+QUEUE_KINDS = ("calendar", "heap")
 
 
 class SimulationError(RuntimeError):
@@ -58,6 +69,12 @@ class Simulator:
     registry:
         Observability registry the kernel's counters live in; a private
         one is created when not supplied (standalone use, tests).
+    queue:
+        Pending-event structure: ``"calendar"`` (default; O(1) amortized
+        insert) or ``"heap"`` (the binary-heap reference lane).  Both
+        dispatch bit-identically; the calendar lane additionally reports
+        ``kernel.calq_resizes`` / ``kernel.calq_spills`` counters and
+        ``kernel.calq_buckets`` / ``kernel.calq_occupancy`` gauges.
 
     Examples
     --------
@@ -72,9 +89,19 @@ class Simulator:
     1.5
     """
 
-    def __init__(self, start_time: float = 0.0, *, registry: Optional[Registry] = None) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        registry: Optional[Registry] = None,
+        queue: str = "calendar",
+    ) -> None:
+        if queue not in QUEUE_KINDS:
+            raise SimulationError(
+                f"unknown queue kind {queue!r}; expected one of {QUEUE_KINDS}"
+            )
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self.queue_kind = queue
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -86,8 +113,21 @@ class Simulator:
         self._c_compactions = self.registry.counter("kernel.heap_compactions")
         self._c_daemon = self.registry.counter("kernel.events_daemon")
         self._c_pushes = self.registry.counter("kernel.heap_pushes")
-        self.registry.gauge("kernel.heap", fn=lambda: float(len(self._heap)))
-        #: cancelled events currently sitting on the heap
+        if queue == "calendar":
+            self._q: CalendarQueue | HeapQueue = CalendarQueue(
+                resize_counter=self.registry.counter("kernel.calq_resizes"),
+                spill_counter=self.registry.counter("kernel.calq_spills"),
+            )
+            self.registry.gauge(
+                "kernel.calq_buckets", fn=lambda: float(self._q.nbuckets)
+            )
+            self.registry.gauge(
+                "kernel.calq_occupancy", fn=lambda: float(self._q.occupancy())
+            )
+        else:
+            self._q = HeapQueue()
+        self.registry.gauge("kernel.heap", fn=lambda: float(len(self._q)))
+        #: cancelled events currently sitting on the queue
         self._cancelled_pending = 0
         #: live (scheduled, not yet dispatched or cancelled) events;
         #: maintained incrementally so pending() is O(1)
@@ -112,31 +152,37 @@ class Simulator:
 
     @property
     def heap_compactions(self) -> int:
-        """Heap compactions performed (deprecated view of the registry counter)."""
+        """Queue compactions performed (deprecated view of the registry counter)."""
         return self._c_compactions.value
 
     @property
     def heap_size(self) -> int:
-        """Raw heap length including cancelled entries (sampling gauge)."""
-        return len(self._heap)
+        """Raw queue length including cancelled entries (sampling gauge)."""
+        return len(self._q)
 
     @property
     def heap_pushes(self) -> int:
-        """Heap entries pushed (deprecated view of ``kernel.heap_pushes``)."""
+        """Queue entries pushed (deprecated view of ``kernel.heap_pushes``)."""
         return self._c_pushes.value
 
     def stats(self) -> Dict[str, float]:
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
-        return {
+        out = {
             "events_dispatched": self._c_dispatched.value,
             "events_skipped": self._c_skipped.value,
             "events_daemon": self._c_daemon.value,
             "heap_compactions": self._c_compactions.value,
             "heap_pushes": self._c_pushes.value,
-            "heap_size": len(self._heap),
+            "heap_size": len(self._q),
             "pending": self.pending(),
             "now": self._now,
         }
+        if isinstance(self._q, CalendarQueue):
+            out["calq_resizes"] = self._q.resizes
+            out["calq_spills"] = self._q.spills
+            out["calq_buckets"] = self._q.nbuckets
+            out["calq_occupancy"] = self._q.occupancy()
+        return out
 
     # ------------------------------------------------------------------
     # clock
@@ -199,7 +245,7 @@ class Simulator:
             owner=self,
         )
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        self._q.push(ev)
         self._c_pushes.value += 1
         self._live += 1
         return ev
@@ -212,22 +258,19 @@ class Simulator:
         self._cancelled_pending += 1
         self._live -= 1
         if (
-            len(self._heap) >= MIN_COMPACT_SIZE
-            and self._cancelled_pending * 2 > len(self._heap)
+            len(self._q) >= MIN_COMPACT_SIZE
+            and self._cancelled_pending * 2 > len(self._q)
         ):
             self.compact()
 
     def compact(self) -> None:
-        """Drop all cancelled events from the heap in one pass.
+        """Drop all cancelled events from the queue in one pass.
 
-        O(n) filter + heapify; called automatically once cancelled
-        entries exceed half the queue, and safe to call by hand.
+        O(n) filter; called automatically once cancelled entries exceed
+        half the queue, and safe to call by hand.
         """
-        live = [ev for ev in self._heap if not ev.cancelled]
-        purged = len(self._heap) - len(live)
+        purged = self._q.drop_cancelled()
         if purged:
-            heapq.heapify(live)
-            self._heap = live
             self._c_skipped.value += purged
             self._c_compactions.value += 1
         self._cancelled_pending = 0
@@ -241,8 +284,11 @@ class Simulator:
         Returns the event dispatched, or ``None`` if the queue is empty
         (cancelled events are skipped transparently).
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        q = self._q
+        while True:
+            ev = q.pop()
+            if ev is None:
+                return None
             if ev.cancelled:
                 ev.done = True
                 self._c_skipped.value += 1
@@ -258,16 +304,21 @@ class Simulator:
                 self._c_dispatched.inc(ev.weight)
             ev.fn(*ev.args)
             return ev
-        return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap).done = True
+        q = self._q
+        while True:
+            ev = q.peek()
+            if ev is None:
+                return None
+            if not ev.cancelled:
+                return ev.time
+            q.pop()
+            ev.done = True
             self._c_skipped.value += 1
             if self._cancelled_pending:
                 self._cancelled_pending -= 1
-        return self._heap[0].time if self._heap else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``stop()``.
@@ -287,8 +338,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
+        q = self._q
         try:
-            while self._heap and not self._stopped:
+            while len(q) and not self._stopped:
                 nxt = self.peek_time()
                 if nxt is None:
                     break
@@ -315,23 +367,23 @@ class Simulator:
 
         O(1): the count is maintained incrementally on schedule,
         dispatch and cancel (see :meth:`_brute_pending` for the
-        reference O(heap) scan the kernel tests check against).
+        reference O(queue) scan the kernel tests check against).
         """
         return self._live
 
     def _brute_pending(self) -> int:
-        """O(heap) reference count of live queued events (tests only)."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """O(queue) reference count of live queued events (tests only)."""
+        return sum(1 for ev in self._q if not ev.cancelled)
 
     def __len__(self) -> int:
         return self.pending()
 
     def iter_pending(self) -> Iterator[Event]:
-        """Yield live queued events in heap (not fire) order."""
-        return (ev for ev in self._heap if not ev.cancelled)
+        """Yield live queued events in internal (not fire) order."""
+        return (ev for ev in self._q if not ev.cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"<Simulator t={self._now:.3f} pending={self.pending()} "
-            f"dispatched={self.events_dispatched}>"
+            f"<Simulator t={self._now:.3f} queue={self.queue_kind} "
+            f"pending={self.pending()} dispatched={self.events_dispatched}>"
         )

@@ -11,9 +11,11 @@ from benchmarks.perf_suite import (
     BenchSchemaError,
     bench_broadcast_fanout,
     bench_kernel_throughput,
+    bench_queue_kernel,
     bench_topology_refresh,
     compare_fanout_lanes,
     compare_metrics_kernels,
+    compare_queue_kernel,
     compare_topology_refresh,
     run_suite,
     validate_bench_dict,
@@ -27,6 +29,22 @@ class TestWorkloads:
         r = bench_kernel_throughput(n_events=2_000)
         assert r["events_dispatched"] == 2_000
         assert r["events_per_sec"] > 0
+
+    def test_queue_kernel_lanes_agree(self):
+        ref = bench_queue_kernel(500, n_events=10_000, queue="heap")
+        cal = bench_queue_kernel(500, n_events=10_000, queue="calendar")
+        # Identical schedule -> identical logical work on both lanes.
+        assert ref["events_dispatched"] == cal["events_dispatched"]
+        assert ref["heap_pushes"] == cal["heap_pushes"]
+        assert cal["events_per_sec"] > 0
+        # Only the calendar lane reports calibration telemetry.
+        assert "calq_buckets" in cal and "calq_buckets" not in ref
+
+    def test_compare_queue_kernel_trace_identical(self):
+        cmp_ = compare_queue_kernel(500, n_events=10_000, seeds=(1, 2))
+        assert cmp_["semantically_identical"] is True
+        assert cmp_["seeds_checked"] == [1, 2]
+        assert cmp_["speedup"] > 0
 
     def test_fanout_lanes_report_heap_traffic(self):
         ref = bench_broadcast_fanout(60, rounds=5, batched=False)
@@ -82,11 +100,23 @@ class TestSuiteDocument:
         names = {r["name"] for r in doc["results"]}
         assert names == {
             "kernel_throughput",
+            "queue_kernel",
             "broadcast_fanout",
             "scenario_e2e",
             "topology_refresh",
             "metrics_kernels",
         }
+        # The metro flagship is skipped on quick unless asked for.
+        assert "metro_flagship" not in names
+
+    def test_quick_suite_metro_opt_in(self):
+        doc = run_suite(quick=True, sizes=(30,), metro=40, metro_duration=2.0)
+        validate_bench_dict(doc)
+        metro = [r for r in doc["results"] if r["name"] == "metro_flagship"]
+        assert {r["params"]["lane"] for r in metro} == {"heap", "calendar"}
+        cmp_ = [c for c in doc["comparisons"] if c["name"] == "metro_flagship"]
+        assert cmp_ and cmp_[0]["n"] == 40
+        assert cmp_[0]["semantically_identical"] is True
 
     def test_committed_document_is_valid(self):
         path = os.path.join(REPO_ROOT, "BENCH_substrate.json")
@@ -114,9 +144,26 @@ class TestSuiteDocument:
         kernels = comparison("metrics_kernels", 600)
         assert kernels["semantically_identical"] is True
         assert kernels["speedup"] >= 5.0
-        # Multi-rep timing: the full ladder records spread, not one shot.
+        # ISSUE 6: the calendar lane wins >= 1.5x on the flood-heavy
+        # queue workload at n >= 2000 with trace-identical dispatch,
+        # and the n=10000 metro-flagship tier completes on both lanes.
+        queue_cmps = [
+            c
+            for c in doc["comparisons"]
+            if c["name"] == "queue_kernel" and c["n"] >= 2000
+        ]
+        assert queue_cmps, "missing queue_kernel comparison at n>=2000"
+        assert all(c["semantically_identical"] for c in queue_cmps)
+        assert max(c["speedup"] for c in queue_cmps) >= 1.5
+        metro = comparison("metro_flagship", 10_000)
+        assert metro["semantically_identical"] is True
+        metro_results = [r for r in doc["results"] if r["name"] == "metro_flagship"]
+        assert {r["params"]["lane"] for r in metro_results} == {"heap", "calendar"}
+        assert all(r["wall_seconds"] > 0 for r in metro_results)
+        # Multi-rep timing: the full ladder records spread, not one shot
+        # (the metro flagship deliberately runs once per lane).
         for r in doc["results"]:
-            if r["name"] != "kernel_throughput":
+            if r["name"] not in ("kernel_throughput", "metro_flagship"):
                 assert r["reps"] >= 3
 
 

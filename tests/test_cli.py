@@ -20,6 +20,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_queue_arg(self):
+        args = build_parser().parse_args(["run", "--nodes", "15"])
+        assert args.queue == "calendar"
+        args = build_parser().parse_args(["run", "--nodes", "15", "--queue", "heap"])
+        assert args.queue == "heap"
+
+    def test_bad_queue_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--queue", "fifo"])
+
 
 class TestCommands:
     def test_tables(self, capsys):

@@ -1,0 +1,103 @@
+"""Calendar-queue lane is bit-identical to the heap lane, end to end.
+
+tests/test_calqueue.py proves exact dispatch-trace equality at the
+kernel level; this suite closes the loop at the *scenario* level: full
+runs -- churn, finite energy, lossy/CSMA channels, dense and sparse
+topologies, several seeds -- must produce semantically identical
+evidence on ``queue="heap"`` and ``queue="calendar"``.  The comparison
+surface is ``repro.obs.compare``: everything except the scheduler/
+topology/analytics *cost* metrics (the calendar lane's calq_* telemetry
+among them) must agree to the last bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.compare import (
+    is_scheduler_cost_key,
+    semantic_snapshot,
+    semantic_timeseries,
+    snapshot_diff,
+)
+from repro.scenarios.builder import build_scenario
+from repro.scenarios.churn import ChurnProcess
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import harvest
+
+SEEDS = (1, 2, 3)
+
+
+def _run_lane(seed: int, topology: str, queue: str):
+    """One full scenario on one queue lane; returns harvested evidence."""
+    cfg = ScenarioConfig(
+        num_nodes=40,
+        duration=40.0,
+        seed=seed,
+        # Exercise both non-ideal channels across the grid: collisions on
+        # the dense backend, probabilistic loss on the sparse one.
+        mac="csma" if topology == "dense" else "lossy",
+        energy_capacity=0.05,
+        topology=topology,
+        obs_interval=10.0,
+        queue=queue,
+    )
+    simulation = build_scenario(cfg)
+    # Attach churn on a dedicated stream so both lanes draw identical
+    # death/revival sequences.
+    ChurnProcess(
+        simulation.sim,
+        simulation.world,
+        np.random.default_rng(10_000 + seed),
+        death_rate=0.05,
+        mean_downtime=10.0,
+    ).start()
+    simulation.run()
+    result = harvest(simulation)
+    return {
+        "snapshot": semantic_snapshot(simulation.registry),
+        "timeseries": semantic_timeseries(result.timeseries),
+        "events": result.events,
+        "energy": result.energy,
+        "totals": result.totals,
+        "stats": simulation.sim.stats(),
+    }
+
+
+@pytest.mark.parametrize("topology", ["dense", "sparse"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_queue_lanes_bit_identical(seed, topology):
+    ref = _run_lane(seed, topology, queue="heap")
+    cal = _run_lane(seed, topology, queue="calendar")
+    # Full semantic registry snapshot: equal key sets, equal values.
+    assert snapshot_diff(ref["snapshot"], cal["snapshot"]) == {}
+    # Sampled time-series rows match bit-for-bit too.
+    assert ref["timeseries"] == cal["timeseries"]
+    # Derived figures agree exactly.
+    assert ref["events"] == cal["events"]
+    assert ref["totals"] == cal["totals"]
+    np.testing.assert_array_equal(ref["energy"], cal["energy"])
+    # Identical op sequences: even the raw scheduler-cost counters agree
+    # between lanes (the calendar lane just reports extra calq_* keys).
+    shared = {k: v for k, v in cal["stats"].items() if not k.startswith("calq_")}
+    assert shared == ref["stats"]
+    # The calendar lane actually calibrated on a 40-node scenario.
+    assert cal["stats"]["calq_buckets"] >= 8
+
+
+def test_calq_metrics_classified_as_cost():
+    assert is_scheduler_cost_key("kernel.calq_resizes")
+    assert is_scheduler_cost_key("kernel.calq_spills")
+    assert is_scheduler_cost_key("kernel.calq_buckets")
+    assert is_scheduler_cost_key("kernel.calq_occupancy")
+    assert not is_scheduler_cost_key("kernel.events_dispatched")
+
+
+def test_config_rejects_unknown_queue():
+    with pytest.raises(ValueError):
+        ScenarioConfig(queue="splay")
+
+
+def test_config_roundtrip_preserves_queue():
+    cfg = ScenarioConfig(queue="heap")
+    assert ScenarioConfig.from_dict(cfg.to_dict()).queue == "heap"
+    assert ScenarioConfig().queue == "calendar"

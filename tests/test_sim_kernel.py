@@ -1,4 +1,12 @@
-"""Unit and property tests for the discrete-event kernel."""
+"""Unit and property tests for the discrete-event kernel.
+
+Every test runs on both queue lanes (``queue="calendar"`` and
+``queue="heap"``) via the ``make_sim`` fixture: the kernel contract --
+dispatch order, cancellation accounting, run control, weights -- is
+lane-independent by design, and these tests are the first line of the
+bit-identity proof obligation (see tests/test_calqueue.py for the
+trace-equality fuzzing).
+"""
 
 import pytest
 from hypothesis import given, settings
@@ -7,15 +15,36 @@ from hypothesis import strategies as st
 from repro.sim import Priority, SimulationError, Simulator
 
 
+@pytest.fixture(params=["calendar", "heap"])
+def make_sim(request):
+    """Simulator factory pinned to one queue lane per parametrization."""
+
+    def _make(*args, **kwargs):
+        kwargs.setdefault("queue", request.param)
+        return Simulator(*args, **kwargs)
+
+    _make.queue = request.param
+    return _make
+
+
+def test_unknown_queue_kind_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(queue="fibonacci")
+
+
+def test_queue_kind_exposed(make_sim):
+    assert make_sim().queue_kind == make_sim.queue
+
+
 class TestScheduling:
-    def test_clock_starts_at_zero(self):
-        assert Simulator().now == 0.0
+    def test_clock_starts_at_zero(self, make_sim):
+        assert make_sim().now == 0.0
 
-    def test_custom_start_time(self):
-        assert Simulator(start_time=5.0).now == 5.0
+    def test_custom_start_time(self, make_sim):
+        assert make_sim(start_time=5.0).now == 5.0
 
-    def test_events_fire_in_time_order(self):
-        sim = Simulator()
+    def test_events_fire_in_time_order(self, make_sim):
+        sim = make_sim()
         fired = []
         sim.schedule(3.0, fired.append, "c")
         sim.schedule(1.0, fired.append, "a")
@@ -23,24 +52,24 @@ class TestScheduling:
         sim.run()
         assert fired == ["a", "b", "c"]
 
-    def test_clock_advances_to_event_time(self):
-        sim = Simulator()
+    def test_clock_advances_to_event_time(self, make_sim):
+        sim = make_sim()
         seen = []
         sim.schedule(2.5, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [2.5]
         assert sim.now == 2.5
 
-    def test_same_time_fifo_order(self):
-        sim = Simulator()
+    def test_same_time_fifo_order(self, make_sim):
+        sim = make_sim()
         fired = []
         for i in range(10):
             sim.schedule(1.0, fired.append, i)
         sim.run()
         assert fired == list(range(10))
 
-    def test_priority_breaks_ties(self):
-        sim = Simulator()
+    def test_priority_breaks_ties(self, make_sim):
+        sim = make_sim()
         fired = []
         sim.schedule(1.0, fired.append, "low", priority=Priority.LOW)
         sim.schedule(1.0, fired.append, "high", priority=Priority.HIGH)
@@ -48,26 +77,26 @@ class TestScheduling:
         sim.run()
         assert fired == ["high", "normal", "low"]
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, make_sim):
         with pytest.raises(SimulationError):
-            Simulator().schedule(-0.1, lambda: None)
+            make_sim().schedule(-0.1, lambda: None)
 
-    def test_schedule_at_past_rejected(self):
-        sim = Simulator()
+    def test_schedule_at_past_rejected(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None)
         sim.run()
         with pytest.raises(SimulationError):
             sim.schedule_at(0.5, lambda: None)
 
-    def test_zero_delay_event_fires(self):
-        sim = Simulator()
+    def test_zero_delay_event_fires(self, make_sim):
+        sim = make_sim()
         fired = []
         sim.schedule(0.0, fired.append, 1)
         sim.run()
         assert fired == [1]
 
-    def test_events_scheduled_during_run_fire(self):
-        sim = Simulator()
+    def test_events_scheduled_during_run_fire(self, make_sim):
+        sim = make_sim()
         fired = []
 
         def chain(n):
@@ -82,8 +111,8 @@ class TestScheduling:
 
 
 class TestCancellation:
-    def test_cancelled_event_does_not_fire(self):
-        sim = Simulator()
+    def test_cancelled_event_does_not_fire(self, make_sim):
+        sim = make_sim()
         fired = []
         ev = sim.schedule(1.0, fired.append, "x")
         ev.cancel()
@@ -91,37 +120,37 @@ class TestCancellation:
         assert fired == []
         assert sim.events_skipped == 1
 
-    def test_cancel_mid_run(self):
-        sim = Simulator()
+    def test_cancel_mid_run(self, make_sim):
+        sim = make_sim()
         fired = []
         later = sim.schedule(2.0, fired.append, "later")
         sim.schedule(1.0, later.cancel)
         sim.run()
         assert fired == []
 
-    def test_pending_excludes_cancelled(self):
-        sim = Simulator()
+    def test_pending_excludes_cancelled(self, make_sim):
+        sim = make_sim()
         ev = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         assert sim.pending() == 2
         ev.cancel()
         assert sim.pending() == 1
 
-    def test_heap_compacts_when_cancelled_dominate(self):
-        sim = Simulator()
+    def test_heap_compacts_when_cancelled_dominate(self, make_sim):
+        sim = make_sim()
         events = [sim.schedule(10.0, lambda: None) for _ in range(200)]
         for ev in events[:150]:
             ev.cancel()
         # cancelled entries exceeded half the queue -> compacted away
         assert sim.heap_compactions >= 1
-        assert len(sim._heap) < 200
+        assert sim.heap_size < 200
         assert sim.pending() == 50
         sim.run()
         assert sim.events_dispatched == 50
         assert sim.events_skipped == 150  # skipped-on-pop + purged
 
-    def test_double_cancel_counted_once(self):
-        sim = Simulator()
+    def test_double_cancel_counted_once(self, make_sim):
+        sim = make_sim()
         ev = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         ev.cancel()
@@ -130,8 +159,8 @@ class TestCancellation:
         sim.run()
         assert sim.events_skipped == 1
 
-    def test_manual_compact_noop_when_clean(self):
-        sim = Simulator()
+    def test_manual_compact_noop_when_clean(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None)
         sim.compact()
         assert sim.heap_compactions == 0
@@ -139,8 +168,8 @@ class TestCancellation:
 
 
 class TestRunControl:
-    def test_until_inclusive(self):
-        sim = Simulator()
+    def test_until_inclusive(self, make_sim):
+        sim = make_sim()
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(2.0, fired.append, 2)
@@ -151,13 +180,13 @@ class TestRunControl:
         sim.run()
         assert fired == [1, 2, 3]
 
-    def test_until_advances_clock_without_events(self):
-        sim = Simulator()
+    def test_until_advances_clock_without_events(self, make_sim):
+        sim = make_sim()
         sim.run(until=10.0)
         assert sim.now == 10.0
 
-    def test_stop_halts_run(self):
-        sim = Simulator()
+    def test_stop_halts_run(self, make_sim):
+        sim = make_sim()
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(1.5, sim.stop)
@@ -167,22 +196,22 @@ class TestRunControl:
         sim.run()
         assert fired == [1, 2]
 
-    def test_max_events(self):
-        sim = Simulator()
+    def test_max_events(self, make_sim):
+        sim = make_sim()
         fired = []
         for i in range(5):
             sim.schedule(float(i), fired.append, i)
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
-    def test_step_returns_event_or_none(self):
-        sim = Simulator()
+    def test_step_returns_event_or_none(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None)
         assert sim.step() is not None
         assert sim.step() is None
 
-    def test_run_not_reentrant(self):
-        sim = Simulator()
+    def test_run_not_reentrant(self, make_sim):
+        sim = make_sim()
         err = []
 
         def reenter():
@@ -195,8 +224,8 @@ class TestRunControl:
         sim.run()
         assert len(err) == 1
 
-    def test_peek_time(self):
-        sim = Simulator()
+    def test_peek_time(self, make_sim):
+        sim = make_sim()
         assert sim.peek_time() is None
         ev = sim.schedule(4.0, lambda: None)
         sim.schedule(7.0, lambda: None)
@@ -207,10 +236,10 @@ class TestRunControl:
 
 class TestPendingFastPath:
     """pending() is an O(1) incremental count; it must always agree with
-    the brute-force heap scan, including around cancellation edge cases."""
+    the brute-force queue scan, including around cancellation edge cases."""
 
-    def test_agrees_with_brute_force(self):
-        sim = Simulator()
+    def test_agrees_with_brute_force(self, make_sim):
+        sim = make_sim()
         events = [sim.schedule(float(i % 7), lambda: None) for i in range(50)]
         assert sim.pending() == sim._brute_pending() == 50
         for ev in events[::3]:
@@ -219,17 +248,17 @@ class TestPendingFastPath:
         sim.run()
         assert sim.pending() == sim._brute_pending() == 0
 
-    def test_agrees_while_stepping(self):
-        sim = Simulator()
+    def test_agrees_while_stepping(self, make_sim):
+        sim = make_sim()
         for i in range(20):
             sim.schedule(float(i), lambda: None)
         while sim.step() is not None:
             assert sim.pending() == sim._brute_pending()
 
-    def test_cancel_after_dispatch_is_noop(self):
+    def test_cancel_after_dispatch_is_noop(self, make_sim):
         # Timeout handles are routinely cancelled after firing; the done
         # flag must keep that from corrupting the incremental count.
-        sim = Simulator()
+        sim = make_sim()
         ev = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         sim.run(max_events=1)
@@ -238,16 +267,16 @@ class TestPendingFastPath:
         assert sim.pending() == sim._brute_pending() == 1
         assert sim.events_skipped == 0
 
-    def test_cancel_survives_compaction(self):
-        sim = Simulator()
+    def test_cancel_survives_compaction(self, make_sim):
+        sim = make_sim()
         events = [sim.schedule(10.0, lambda: None) for _ in range(200)]
         for ev in events[:150]:
             ev.cancel()
         assert sim.heap_compactions >= 1
         assert sim.pending() == sim._brute_pending() == 50
 
-    def test_stats_pending_matches(self):
-        sim = Simulator()
+    def test_stats_pending_matches(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None)
         assert sim.stats()["pending"] == 1
         assert sim.stats()["heap_pushes"] == 1
@@ -257,24 +286,24 @@ class TestEventWeight:
     """Batched delivery events carry weight=k so events_dispatched stays
     identical to the per-receiver reference lane."""
 
-    def test_weight_counts_as_k_dispatches(self):
-        sim = Simulator()
+    def test_weight_counts_as_k_dispatches(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None, weight=5)
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.events_dispatched == 6
         assert sim.heap_pushes == 2
 
-    def test_daemon_weight_excluded_from_dispatched(self):
-        sim = Simulator()
+    def test_daemon_weight_excluded_from_dispatched(self, make_sim):
+        sim = make_sim()
         sim.schedule(1.0, lambda: None, weight=3, daemon=True)
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.events_dispatched == 1
         assert sim.stats()["events_daemon"] == 3
 
-    def test_weight_below_one_rejected(self):
-        sim = Simulator()
+    def test_weight_below_one_rejected(self, make_sim):
+        sim = make_sim()
         with pytest.raises(SimulationError):
             sim.schedule(1.0, lambda: None, weight=0)
         with pytest.raises(SimulationError):
@@ -282,10 +311,13 @@ class TestEventWeight:
 
 
 class TestProperties:
-    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    @given(
+        st.sampled_from(["calendar", "heap"]),
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100),
+    )
     @settings(max_examples=50, deadline=None)
-    def test_dispatch_order_is_sorted(self, delays):
-        sim = Simulator()
+    def test_dispatch_order_is_sorted(self, queue, delays):
+        sim = Simulator(queue=queue)
         fired = []
         for d in delays:
             sim.schedule(d, lambda d=d: fired.append(sim.now))
@@ -294,15 +326,16 @@ class TestProperties:
         assert len(fired) == len(delays)
 
     @given(
+        st.sampled_from(["calendar", "heap"]),
         st.lists(
             st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 2)),
             min_size=1,
             max_size=60,
-        )
+        ),
     )
     @settings(max_examples=50, deadline=None)
-    def test_total_order_time_priority_seq(self, items):
-        sim = Simulator()
+    def test_total_order_time_priority_seq(self, queue, items):
+        sim = Simulator(queue=queue)
         keys = []
         for i, (d, p) in enumerate(items):
             ev = sim.schedule(d, lambda: None, priority=p)
@@ -315,10 +348,10 @@ class TestProperties:
             order.append(ev.sort_key())
         assert order == sorted(order)
 
-    @given(st.integers(0, 2**31), st.data())
+    @given(st.sampled_from(["calendar", "heap"]), st.integers(0, 2**31), st.data())
     @settings(max_examples=25, deadline=None)
-    def test_clock_monotone(self, seed, data):
-        sim = Simulator()
+    def test_clock_monotone(self, queue, seed, data):
+        sim = Simulator(queue=queue)
         times = []
         n = data.draw(st.integers(1, 30))
         import numpy as np
