@@ -83,6 +83,7 @@ __all__ = [
     "compare_metro_flagship",
     "bench_topology_refresh",
     "compare_topology_refresh",
+    "REFRESH_BENCH_LANES",
     "bench_metrics_kernels",
     "compare_metrics_kernels",
     "run_suite",
@@ -528,7 +529,7 @@ def compare_metro_flagship(
 
 
 def _refresh_workload(
-    n: int, duration: float, seed: int, delta: bool
+    n: int, duration: float, seed: int, lane: str
 ) -> Tuple[float, str, World]:
     """Timed servent-shaped query mix on one topology-refresh lane.
 
@@ -539,8 +540,8 @@ def _refresh_workload(
     distance vectors from a small *hot* source set (connection
     maintenance keeps asking about the same peers, which is what the
     LRU distance cache and the adjacency epoch are for).  Every answer
-    is folded into a blake2b fingerprint so the delta and full lanes can
-    be checked for bit-identical query semantics.
+    is folded into a blake2b fingerprint so the predictive, delta and
+    full lanes can be checked for bit-identical query semantics.
     """
     side = 100.0 * math.sqrt(n / 50.0)
     mobility = RandomWaypoint(
@@ -557,7 +558,7 @@ def _refresh_workload(
         radio_range=10.0,
         snapshot_interval=0.25,
         topology="sparse" if n >= 400 else "dense",
-        topology_delta=delta,
+        topology_refresh=lane,
     )
     hot = [int(h) % n for h in (0, n // 7, n // 3, 2 * n // 5, n // 2, 3 * n // 5, 3 * n // 4, n - 1)]
     steps = int(round(duration / 0.25))
@@ -580,7 +581,7 @@ def bench_topology_refresh(
     *,
     duration: float = 20.0,
     seed: int = 1,
-    delta: bool = True,
+    lane: str = "delta",
     repeats: int = 1,
 ) -> Dict[str, Any]:
     """Topology refresh + query workload on one snapshot lane."""
@@ -588,7 +589,7 @@ def bench_topology_refresh(
     fingerprint = ""
     world: Optional[World] = None
     for _ in range(max(1, repeats)):
-        wall, fingerprint, world = _refresh_workload(n, duration, seed, delta)
+        wall, fingerprint, world = _refresh_workload(n, duration, seed, lane)
         walls.append(wall)
     assert world is not None
     topo = world.topology
@@ -598,7 +599,7 @@ def bench_topology_refresh(
             "n": n,
             "duration": duration,
             "seed": seed,
-            "lane": "delta" if delta else "full",
+            "lane": lane,
             "topology": type(topo).name,
             "fingerprint": fingerprint,
         },
@@ -608,7 +609,15 @@ def bench_topology_refresh(
         "moved_nodes": topo.moved_nodes,
         "dist_cache_hits": topo.dist_cache_hits,
         "csr_builds": getattr(topo, "csr_builds", 0),
+        "kinetic_skips": topo.kinetic_skips,
+        "kinetic_refreshes": topo.kinetic_refreshes,
+        "horizon_recomputes": topo.horizon_recomputes,
     }
+
+
+#: Refresh lanes compared by :func:`compare_topology_refresh`, slowest
+#: (reference) first.
+REFRESH_BENCH_LANES: Tuple[str, ...] = ("full", "delta", "predictive")
 
 
 def compare_topology_refresh(
@@ -618,34 +627,47 @@ def compare_topology_refresh(
     seeds: Sequence[int] = EQUIVALENCE_SEEDS,
     repeats: int = 1,
 ) -> Dict[str, Any]:
-    """Delta vs full-rebuild refresh lanes on the same query stream.
+    """Predictive vs delta vs full-rebuild lanes on the same query stream.
 
     Wall clock comes from per-lane timed runs (best of ``repeats``); on
-    top of that, both lanes re-run over ``seeds`` and the blake2b
+    top of that, every lane re-runs over ``seeds`` and the blake2b
     fingerprints of every query answer (neighbor sets + BFS vectors at
-    every 0.25 s quantum) must match exactly.
+    every 0.25 s quantum) must match exactly across all three lanes.
     """
-    full = bench_topology_refresh(
-        n, duration=duration, seed=seeds[0], delta=False, repeats=repeats
+    lanes = {
+        lane: bench_topology_refresh(
+            n, duration=duration, seed=seeds[0], lane=lane, repeats=repeats
+        )
+        for lane in REFRESH_BENCH_LANES
+    }
+    reference_fp = lanes["full"]["params"]["fingerprint"]
+    identical = all(
+        r["params"]["fingerprint"] == reference_fp for r in lanes.values()
     )
-    fast = bench_topology_refresh(
-        n, duration=duration, seed=seeds[0], delta=True, repeats=repeats
-    )
-    identical = full["params"]["fingerprint"] == fast["params"]["fingerprint"]
     checked = [int(seeds[0])]
     for seed in seeds[1:]:
-        _, fp_full, _ = _refresh_workload(n, duration, seed, delta=False)
-        _, fp_fast, _ = _refresh_workload(n, duration, seed, delta=True)
-        if fp_full != fp_fast:
+        fps = {
+            lane: _refresh_workload(n, duration, seed, lane)[1]
+            for lane in REFRESH_BENCH_LANES
+        }
+        if len(set(fps.values())) != 1:
             identical = False
         checked.append(int(seed))
-    wall_full, wall_fast = full["wall_seconds"], fast["wall_seconds"]
+    wall_full = lanes["full"]["wall_seconds"]
+
+    def _speedup(lane: str) -> float:
+        wall = lanes[lane]["wall_seconds"]
+        return wall_full / wall if wall > 0 else float("inf")
+
     return {
         "name": "topology_refresh",
         "n": n,
-        "full": full,
-        "delta": fast,
-        "speedup": wall_full / wall_fast if wall_fast > 0 else float("inf"),
+        **lanes,
+        # ``speedup`` keeps its historical meaning (delta vs full) so
+        # archived documents stay comparable; the predictive lane gets
+        # its own ratio.
+        "speedup": _speedup("delta"),
+        "speedup_predictive": _speedup("predictive"),
         "semantically_identical": identical,
         "seeds_checked": checked,
     }
@@ -858,15 +880,25 @@ def run_suite(
         )
 
     refresh_duration = 5.0 if quick else 20.0
-    for n in sizes:
-        say(f"topology_refresh: n={n} duration={refresh_duration:.1f}s (both lanes)")
+    refresh_sizes = list(sizes)
+    if metro:
+        # Metro-scale refresh tier: the AIMD proof gate and the kinetic
+        # mover-only lane are sized for exactly this regime (the n=2000
+        # ladder rung is where the plain delta lane stopped paying off).
+        refresh_sizes.append(int(metro))
+    for n in refresh_sizes:
+        tier_duration = refresh_duration if n in sizes else min(refresh_duration, 10.0)
+        say(f"topology_refresh: n={n} duration={tier_duration:.1f}s (3 lanes)")
         cmp_ = compare_topology_refresh(
-            n, duration=refresh_duration, seeds=seeds, repeats=repeats
+            n,
+            duration=tier_duration,
+            seeds=seeds if n in sizes else seeds[:1],
+            repeats=repeats if n in sizes else 1,
         )
-        results.append(cmp_["full"])
-        results.append(cmp_["delta"])
+        for lane in REFRESH_BENCH_LANES:
+            results.append(cmp_[lane])
         comparisons.append(
-            {k: v for k, v in cmp_.items() if k not in ("full", "delta")}
+            {k: v for k, v in cmp_.items() if k not in REFRESH_BENCH_LANES}
         )
 
     for n in sizes:

@@ -93,7 +93,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         topology=args.topology,
-        topology_delta=args.topology_refresh != "full",
+        topology_refresh=args.topology_refresh,
         queue=args.queue,
     )
     store = None
@@ -155,7 +155,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             seed=args.seed,
             topology=args.topology,
-            topology_delta=args.topology_refresh != "full",
+            topology_refresh=args.topology_refresh,
             queue=args.queue,
         )
     )
@@ -197,7 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         routing=args.routing,
         seed=args.seed,
         topology=args.topology,
-        topology_delta=args.topology_refresh != "full",
+        topology_refresh=args.topology_refresh,
         obs_interval=args.obs_interval,
         queue=args.queue,
     )
@@ -280,10 +280,11 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--topology-refresh",
-        choices=("delta", "full"),
-        default="delta",
-        help="snapshot refresh lane: incremental delta (default) or the "
-        "full-rebuild reference lane (bit-identical results)",
+        choices=("predictive", "delta", "full"),
+        default="predictive",
+        help="snapshot refresh lane: predictive kinetic horizons "
+        "(default), incremental delta diffing, or the full-rebuild "
+        "reference lane (all bit-identical)",
     )
     parser.add_argument(
         "--queue",

@@ -33,8 +33,9 @@ invalidation) through :class:`TopologyBackend`, and are required by the
 A/B equivalence suite (``tests/test_net_topology.py``) to agree exactly
 on neighbor sets and hop distances.
 
-Snapshot refreshes come in two lanes (``delta=True`` selects the fast
-one; both are bit-identical, see ``tests/test_topology_delta.py``):
+Snapshot refreshes come in three lanes (``refresh=...``; all are
+bit-identical, see ``tests/test_topology_delta.py`` and
+``tests/test_topology_kinetic.py``):
 
 * **full** (reference): every refresh recomputes connectivity from
   scratch and flushes every memo, exactly the pre-delta behaviour.
@@ -43,6 +44,22 @@ one; both are bit-identical, see ``tests/test_topology_delta.py``):
   re-bins only nodes whose cell changed; and -- when cheap enough to
   prove -- an unchanged adjacency keeps the BFS distance cache and the
   CSR across the refresh.
+* **predictive** (kinetic): instead of rediscovering motion by diffing,
+  the backend asks the mobility plane *when* state can next change
+  (closed-form segment horizons, see
+  :meth:`repro.mobility.base.MobilityModel.next_change_horizon`).  A
+  refresh before the minimum position-change horizon is a true O(1)
+  skip -- no position evaluation, no diff, epoch stands still; past it
+  only the nodes whose horizon passed are re-examined (O(movers), not
+  O(n)) and only nodes whose *cell-crossing* horizon passed are
+  re-binned.  Falls back to the delta lane for mobility sources that do
+  not publish horizons.
+
+The delta/predictive proof gate (how many movers an adjacency-
+preservation proof is attempted for) self-calibrates: additive increase
+on proof success, multiplicative back-off on failure, so sustained
+motion stops paying for doomed proofs and quiet workloads keep their
+caches warm (``topology.proof_gate`` gauge).
 
 Cache validity is tracked by an **adjacency epoch**
 (:attr:`TopologyBackend.adjacency_epoch`): a counter that advances only
@@ -67,12 +84,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world imports us)
 
 __all__ = [
     "UNREACHABLE",
+    "REFRESH_LANES",
     "TopologyBackend",
     "DenseTopology",
     "SparseGridTopology",
     "TOPOLOGY_BACKENDS",
     "make_topology",
+    "resolve_refresh_lane",
 ]
+
+#: Selectable snapshot-refresh lanes, fastest first.
+REFRESH_LANES = ("predictive", "delta", "full")
+
+
+def resolve_refresh_lane(
+    refresh: Optional[str], delta: Optional[bool] = None
+) -> str:
+    """Resolve the lane from the new string knob and the legacy bool.
+
+    ``refresh`` wins when given; otherwise the legacy ``delta`` flag
+    maps ``True`` -> ``"delta"`` and ``False`` -> ``"full"`` (its exact
+    historical semantics).  With neither, the delta lane is the default
+    for directly-constructed backends; scenario configs default to
+    ``"predictive"`` (see :mod:`repro.scenarios.config`).
+    """
+    if refresh is not None:
+        if refresh not in REFRESH_LANES:
+            known = ", ".join(REFRESH_LANES)
+            raise ValueError(f"unknown refresh lane {refresh!r} (known: {known})")
+        return refresh
+    if delta is None:
+        delta = True
+    return "delta" if delta else "full"
 
 #: Sentinel hop distance for disconnected pairs.
 UNREACHABLE = -1
@@ -114,9 +157,13 @@ class TopologyBackend(abc.ABC):
     dist_cache_size:
         Maximum number of per-source distance vectors kept per snapshot.
     delta:
-        Select the incremental refresh lane (default).  ``False`` pins
-        the full-rebuild reference lane: every refresh recomputes from
-        scratch and advances the epoch, the pre-delta behaviour.
+        Legacy lane selector: ``True`` -> delta lane, ``False`` -> full
+        rebuild.  Superseded by ``refresh`` but kept working.
+    refresh:
+        Refresh lane, one of :data:`REFRESH_LANES`.  ``"predictive"``
+        adds the kinetic skip/mover machinery on top of the delta lane;
+        ``"full"`` pins the from-scratch reference lane.  When ``None``
+        the legacy ``delta`` flag decides.
     """
 
     #: short identifier used by configuration ("dense" / "sparse")
@@ -127,20 +174,33 @@ class TopologyBackend(abc.ABC):
         world: "World",
         *,
         dist_cache_size: int = DEFAULT_DIST_CACHE,
-        delta: bool = True,
+        delta: Optional[bool] = None,
+        refresh: Optional[str] = None,
     ) -> None:
         if dist_cache_size < 1:
             raise ValueError(f"dist_cache_size must be >= 1, got {dist_cache_size}")
         self.world = world
         self.dist_cache_size = int(dist_cache_size)
-        self.delta = bool(delta)
+        self.refresh_lane = resolve_refresh_lane(refresh, delta)
+        #: legacy view: whether any incremental lane is active
+        self.delta = self.refresh_lane != "full"
         #: fraction of nodes that may move per refresh before the delta
         #: lane stops trying to prove the adjacency unchanged (the proof
-        #: costs O(moved · degree); past this it almost never succeeds)
+        #: costs O(moved · degree); past this it almost never succeeds).
+        #: Seeds the self-calibrating gate; the controller adapts from
+        #: there on measured proof outcomes.
         self.delta_detect_fraction = 0.25
         self._snap_time = -1.0
         self._epoch = 0
         self._dist: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        #: down mask of the current snapshot (subclasses refresh it)
+        self._down = np.zeros(world.n, dtype=bool)
+        # Kinetic state (predictive lane): per-node absolute horizons
+        # from the mobility plane.  ``_change_at`` is None when unarmed
+        # (non-predictive lanes, no horizon-capable mobility source, or
+        # after invalidate()).
+        self._change_at: Optional[np.ndarray] = None
+        self._min_change = -np.inf
         registry = getattr(world, "registry", None)
         self.registry = registry if registry is not None else Registry()
         labels = {"layer": "topology", "backend": type(self).name}
@@ -148,6 +208,13 @@ class TopologyBackend(abc.ABC):
         self._c_delta = self.registry.counter("topology.delta_rebuilds", **labels)
         self._c_moved = self.registry.counter("topology.moved_nodes", **labels)
         self._c_dist_hits = self.registry.counter("topology.dist_cache_hits", **labels)
+        self._c_kinetic = self.registry.counter("topology.kinetic_skips", **labels)
+        self._c_kin_refresh = self.registry.counter(
+            "topology.kinetic_refreshes", **labels
+        )
+        self._c_horizon = self.registry.counter(
+            "topology.horizon_recomputes", **labels
+        )
         self._t_rebuild = self.registry.timer("wall", section="topology.rebuild")
 
     # ------------------------------------------------------------------
@@ -173,6 +240,21 @@ class TopologyBackend(abc.ABC):
         """Memoized BFS hits (deprecated view of ``topology.dist_cache_hits``)."""
         return self._c_dist_hits.value
 
+    @property
+    def kinetic_skips(self) -> int:
+        """Refreshes skipped outright by the kinetic horizon gate."""
+        return self._c_kinetic.value
+
+    @property
+    def kinetic_refreshes(self) -> int:
+        """Refreshes served diff-free from mobility horizons."""
+        return self._c_kin_refresh.value
+
+    @property
+    def horizon_recomputes(self) -> int:
+        """Per-node kinetic horizon recomputations performed."""
+        return self._c_horizon.value
+
     def stats(self) -> Dict[str, float]:
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
         return {
@@ -183,6 +265,9 @@ class TopologyBackend(abc.ABC):
             "dist_cache_size": len(self._dist),
             "snapshot_time": self._snap_time,
             "adjacency_epoch": self._epoch,
+            "kinetic_skips": self._c_kinetic.value,
+            "kinetic_refreshes": self._c_kin_refresh.value,
+            "horizon_recomputes": self._c_horizon.value,
         }
 
     # ------------------------------------------------------------------
@@ -213,28 +298,64 @@ class TopologyBackend(abc.ABC):
             or t < self._snap_time
             or (t - self._snap_time) > self.world.snapshot_interval
         )
-        if stale:
-            pos = self.world.positions()
-            down = self.world.down_mask()
+        if not stale:
+            return
+        if (
+            self._change_at is not None
+            and self._snap_time >= 0.0
+            and t > self._snap_time
+            and np.array_equal(self.world.down_mask(), self._down)
+        ):
+            # Kinetic lane: the mobility plane told us when state can
+            # next change, so we never touch the full position array.
+            if t < self._min_change:
+                # Before the min horizon nothing can have moved: the
+                # snapshot carries over wholesale at O(1) cost.
+                self._snap_time = t
+                self._c_kinetic.value += 1
+                return
             t0 = perf_counter()
-            if self.delta and self._snap_time >= 0.0:
-                changed = self._update(pos, down)
-                self._c_delta.value += 1
-            else:
-                self._rebuild(pos, down)
-                changed = True
+            changed = self._update_kinetic(t)
             self._t_rebuild.add(perf_counter() - t0)
             self._snap_time = t
             self._c_rebuilds.value += 1
+            self._c_delta.value += 1
+            self._c_kin_refresh.value += 1
             if changed:
                 self._epoch += 1
                 self._dist.clear()
+            return
+        pos = self.world.positions()
+        down = self.world.down_mask()
+        t0 = perf_counter()
+        if self.refresh_lane != "full" and self._snap_time >= 0.0:
+            changed = self._update(pos, down)
+            self._c_delta.value += 1
+        else:
+            self._rebuild(pos, down)
+            changed = True
+        self._t_rebuild.add(perf_counter() - t0)
+        self._snap_time = t
+        self._c_rebuilds.value += 1
+        if changed:
+            self._epoch += 1
+            self._dist.clear()
+        if self.refresh_lane == "predictive":
+            self._arm_horizons(t)
 
     def invalidate(self) -> None:
-        """Drop the snapshot; the next query recomputes everything."""
+        """Drop the snapshot; the next query recomputes everything.
+
+        Also disarms the kinetic horizons: invalidation signals an
+        out-of-band state change (churn death/revival, energy
+        depletion) that the mobility plane cannot predict, so the next
+        refresh takes the full-rebuild path and re-arms from scratch.
+        """
         self._snap_time = -1.0
         self._dist.clear()
         self._epoch += 1
+        self._change_at = None
+        self._min_change = -np.inf
 
     def clear_distance_cache(self) -> None:
         """Forget memoized per-source distance vectors (benchmarks)."""
@@ -253,6 +374,38 @@ class TopologyBackend(abc.ABC):
         """
         self._rebuild(pos, down)
         return True
+
+    # -- kinetic lane (predictive) -------------------------------------
+    def _arm_horizons(self, t: float) -> None:
+        """(Re)compute kinetic horizons for every node at time ``t``.
+
+        Requires the owning world's mobility source to publish
+        :meth:`~repro.mobility.base.MobilityModel.next_change_horizon`;
+        sources that do not (test fakes, trace replayers) leave the
+        backend unarmed and the predictive lane degrades to the delta
+        lane, which is always correct.
+        """
+        mobility = getattr(self.world, "mobility", None)
+        horizon_fn = getattr(mobility, "next_change_horizon", None)
+        if horizon_fn is None:
+            self._change_at = None
+            self._min_change = -np.inf
+            return
+        self._change_at = np.asarray(horizon_fn(t), dtype=float)
+        self._min_change = float(self._change_at.min())
+        self._c_horizon.value += self.world.n
+
+    def _update_kinetic(self, t: float) -> bool:
+        """Refresh past the min horizon without an O(n) position diff.
+
+        The base fallback re-evaluates all positions and delegates to
+        the delta diff (still bit-identical, no kinetic saving beyond
+        the skip gate); the sparse backend overrides with a true
+        O(movers) path driven by the per-node horizons.
+        """
+        changed = self._update(self.world.positions(), self._down)
+        self._arm_horizons(t)
+        return changed
 
     # ------------------------------------------------------------------
     # queries
@@ -344,9 +497,12 @@ class DenseTopology(TopologyBackend):
         world: "World",
         *,
         dist_cache_size: int = DEFAULT_DIST_CACHE,
-        delta: bool = True,
+        delta: Optional[bool] = None,
+        refresh: Optional[str] = None,
     ) -> None:
-        super().__init__(world, dist_cache_size=dist_cache_size, delta=delta)
+        super().__init__(
+            world, dist_cache_size=dist_cache_size, delta=delta, refresh=refresh
+        )
         n = world.n
         self._adj: np.ndarray = np.zeros((n, n), dtype=bool)
         self._down = np.zeros(n, dtype=bool)
@@ -460,9 +616,12 @@ class SparseGridTopology(TopologyBackend):
         world: "World",
         *,
         dist_cache_size: int = DEFAULT_DIST_CACHE,
-        delta: bool = True,
+        delta: Optional[bool] = None,
+        refresh: Optional[str] = None,
     ) -> None:
-        super().__init__(world, dist_cache_size=dist_cache_size, delta=delta)
+        super().__init__(
+            world, dist_cache_size=dist_cache_size, delta=delta, refresh=refresh
+        )
         n = world.n
         self._pos: np.ndarray = np.empty((n, 2))
         self._down = np.zeros(n, dtype=bool)
@@ -481,6 +640,23 @@ class SparseGridTopology(TopologyBackend):
         # resets it -- sustained motion stops paying for doomed proofs.
         self._prove_fail_streak = 0
         self._prove_skip = 0
+        # Self-calibrating proof gate (AIMD): the max mover count an
+        # adjacency-preservation proof is attempted for.  Seeded from
+        # the historical hard-coded bound max(8, 25% of n); a proof
+        # success raises it additively (proofs are paying off), a
+        # failure halves it (floor 8) so sustained motion converges to
+        # near-zero proof spend instead of a fixed 25%-of-n tax.
+        self._gate = max(8.0, self.delta_detect_fraction * n)
+        self._gate_step = max(1.0, 0.05 * n)
+        self.registry.gauge(
+            "topology.proof_gate",
+            fn=lambda: self._gate,
+            layer="topology",
+            backend=type(self).name,
+        )
+        #: per-node cell-crossing horizons (predictive lane), absolute
+        #: times; valid alongside ``_change_at``
+        self._cross_at: Optional[np.ndarray] = None
         # CSR builds performed (observability: should be << rebuilds
         # for neighbor-only workloads); exposed via the property below.
         self._c_csr_builds = self.registry.counter(
@@ -528,7 +704,7 @@ class SparseGridTopology(TopologyBackend):
         self._csr = None
         self._nbr = {}
 
-    # -- delta refresh -------------------------------------------------
+    # -- delta / kinetic refresh ---------------------------------------
     def _update(self, pos: np.ndarray, down: np.ndarray) -> bool:
         if not np.array_equal(down, self._down):
             # Up-set changes normally arrive via invalidate(); if one
@@ -538,43 +714,103 @@ class SparseGridTopology(TopologyBackend):
         touched = np.flatnonzero((pos != self._pos).any(axis=1))
         if touched.size == 0:
             return False  # every node paused: the snapshot carries over
+        return self._apply_moves(touched, pos[touched], None)
+
+    def _arm_horizons(self, t: float) -> None:
+        super()._arm_horizons(t)
+        if self._change_at is None:
+            self._cross_at = None
+            return
+        self._cross_at = np.asarray(
+            self.world.mobility.next_change_horizon(
+                t, pitch=self.world.radio_range
+            ),
+            dtype=float,
+        )
+
+    def _update_kinetic(self, t: float) -> bool:
+        # O(movers): only nodes whose position-change horizon passed can
+        # differ from the stored snapshot; everyone else is provably
+        # bitwise-unmoved and is never evaluated, diffed or re-binned.
+        changed = np.flatnonzero(self._change_at <= t)
+        if changed.size == 0:
+            return False
+        mobility = self.world.mobility
+        new_pos = mobility.positions_of(changed, t)
+        # Only nodes whose *cell-crossing* horizon also passed can have
+        # left their grid cell; the rest move within it.
+        crossed = self._cross_at[changed] <= t
+        result = self._apply_moves(changed, new_pos, crossed)
+        # Re-arm: position horizons for everyone who was re-examined,
+        # cell horizons only for potential crossers (the others' cached
+        # crossing predictions are absolute times and remain valid).
+        self._change_at[changed] = mobility.next_change_horizon(t, ids=changed)
+        cross_ids = changed[crossed]
+        if cross_ids.size:
+            self._cross_at[cross_ids] = mobility.next_change_horizon(
+                t, pitch=self.world.radio_range, ids=cross_ids
+            )
+        self._min_change = float(self._change_at.min())
+        self._c_horizon.value += int(changed.size)
+        return result
+
+    def _apply_moves(
+        self,
+        touched: np.ndarray,
+        new_pos: np.ndarray,
+        crossed: Optional[np.ndarray],
+    ) -> bool:
+        """Move ``touched`` nodes to ``new_pos`` (their rows, in order).
+
+        ``crossed`` is a boolean mask over ``touched`` restricting which
+        nodes may have changed grid cell (kinetic lane, from the
+        cell-crossing horizons); ``None`` means any of them may have
+        (delta lane).  Returns whether the adjacency may have changed.
+        """
         self._c_moved.value += int(touched.size)
         # Decide up front whether proving "no link flipped" can pay off:
         # the proof costs two neighbor computations per mover, and it
         # only preserves anything if a distance cache / CSR exists.
         # Under sustained motion some link flips nearly every refresh,
         # so consecutive failed proofs back the attempt rate off
-        # exponentially (capped); one success restores eagerness.
+        # exponentially (capped) and shrink the AIMD gate; successes
+        # restore eagerness and widen it.
         movers = touched[~self._down[touched]]
         if self._prove_skip > 0:
             self._prove_skip -= 1
             worth_proving = False
         else:
             worth_proving = (
-                (self._dist or self._csr is not None)
-                and movers.size <= max(8.0, self.delta_detect_fraction * self.world.n)
-            )
+                self._dist or self._csr is not None
+            ) and movers.size <= self._gate
         old_lists = self._mover_neighbor_lists(movers, self._pos) if worth_proving else None
 
-        # Surgical re-bin: only movers whose grid cell changed.
+        # Surgical re-bin: only candidate crossers whose cell changed.
         r = self.world.radio_range
-        new_cell = self._cells_of(pos[touched], r)
-        if new_cell.size and (new_cell.min() < 1 or new_cell.max() >= _KSTRIDE - 1):
-            raise ValueError(
-                "node positions exceed the sparse grid's coordinate range "
-                f"(±{(_KOFF - 2) * r:.0f} m at radio range {r})"
-            )
-        new_key = new_cell[:, 0] * _KSTRIDE + new_cell[:, 1]
-        rebin = new_key != self._key[touched]
-        for idx in np.flatnonzero(rebin):
-            i = int(touched[idx])
-            if self._down[i]:
-                continue  # down nodes are not in the grid
-            self._grid_remove(int(self._key[i]), i)
-            self._grid_add(int(new_key[idx]), i)
-        self._cell[touched] = new_cell
-        self._key[touched] = new_key
-        self._pos[touched] = pos[touched]
+        if crossed is None:
+            cand = touched
+            cand_pos = new_pos
+        else:
+            cand = touched[crossed]
+            cand_pos = new_pos[crossed]
+        if cand.size:
+            new_cell = self._cells_of(cand_pos, r)
+            if new_cell.min() < 1 or new_cell.max() >= _KSTRIDE - 1:
+                raise ValueError(
+                    "node positions exceed the sparse grid's coordinate range "
+                    f"(±{(_KOFF - 2) * r:.0f} m at radio range {r})"
+                )
+            new_key = new_cell[:, 0] * _KSTRIDE + new_cell[:, 1]
+            rebin = new_key != self._key[cand]
+            for idx in np.flatnonzero(rebin):
+                i = int(cand[idx])
+                if self._down[i]:
+                    continue  # down nodes are not in the grid
+                self._grid_remove(int(self._key[i]), i)
+                self._grid_add(int(new_key[idx]), i)
+            self._cell[cand] = new_cell
+            self._key[cand] = new_key
+        self._pos[touched] = new_pos
 
         if old_lists is not None:
             new_lists = self._mover_neighbor_lists(movers, self._pos)
@@ -586,9 +822,11 @@ class SparseGridTopology(TopologyBackend):
                 # cannot change: the adjacency is provably intact, so
                 # the CSR, neighbor memos and distance cache stay warm.
                 self._prove_fail_streak = 0
+                self._gate = min(float(self.world.n), self._gate + self._gate_step)
                 return False
             self._prove_fail_streak += 1
             self._prove_skip = min(64, 1 << self._prove_fail_streak)
+            self._gate = max(8.0, self._gate * 0.5)
         self._csr = None
         self._nbr = {}
         return True
@@ -763,7 +1001,8 @@ def make_topology(
     world: "World",
     *,
     dist_cache_size: int = DEFAULT_DIST_CACHE,
-    delta: bool = True,
+    delta: Optional[bool] = None,
+    refresh: Optional[str] = None,
 ) -> TopologyBackend:
     """Instantiate a backend from a config string or a backend class."""
     if isinstance(spec, str):
@@ -776,4 +1015,4 @@ def make_topology(
         cls = spec
     else:
         raise TypeError(f"topology must be a name or TopologyBackend class, got {spec!r}")
-    return cls(world, dist_cache_size=dist_cache_size, delta=delta)
+    return cls(world, dist_cache_size=dist_cache_size, delta=delta, refresh=refresh)

@@ -55,16 +55,21 @@ SCHEDULER_COST_METRICS: Tuple[str, ...] = (
 )
 
 #: Metric names that measure topology *cache effort*, not connectivity.
-#: The delta refresh lane (``topology_delta=True``) legitimately rebuilds
-#: less, keeps the BFS distance cache warm across refreshes and builds
-#: fewer CSRs than the full-rebuild reference lane, so these counters
-#: differ between lanes while every query answer stays bit-identical.
+#: The delta and predictive refresh lanes legitimately rebuild less,
+#: keep the BFS distance cache warm across refreshes, skip refreshes
+#: kinetically and build fewer CSRs than the full-rebuild reference
+#: lane, so these counters (and the proof-gate gauge) differ between
+#: lanes while every query answer stays bit-identical.
 TOPOLOGY_COST_METRICS: Tuple[str, ...] = (
     "topology.rebuilds",
     "topology.delta_rebuilds",
     "topology.moved_nodes",
     "topology.dist_cache_hits",
     "topology.csr_builds",
+    "topology.kinetic_skips",
+    "topology.kinetic_refreshes",
+    "topology.horizon_recomputes",
+    "topology.proof_gate",
 )
 
 #: Prefix covering the vectorized graph-kernel counters

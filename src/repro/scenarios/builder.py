@@ -122,7 +122,7 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         energy=EnergyModel(cfg.num_nodes, capacity=cfg.energy_capacity),
         snapshot_interval=cfg.snapshot_interval,
         topology=cfg.resolved_topology,
-        topology_delta=cfg.topology_delta,
+        topology_refresh=cfg.topology_refresh,
     )
     if cfg.mac == "csma":
         from ..net.mac import CsmaChannel

@@ -28,6 +28,7 @@ _MOBILITY_MODELS = (
 _ROUTINGS = ("aodv", "dsdv", "dsr", "oracle")
 _ALGORITHMS = ("basic", "regular", "random", "hybrid")
 _TOPOLOGIES = ("dense", "sparse", "auto")
+_REFRESH_LANES = ("predictive", "delta", "full")
 _QUEUES = ("calendar", "heap")
 
 #: "auto" topology switches to the sparse grid backend at this node count.
@@ -76,11 +77,17 @@ class ScenarioConfig:
     #: "sparse" (uniform-grid spatial index, for large n) or "auto"
     #: (sparse once num_nodes >= AUTO_SPARSE_THRESHOLD)
     topology: str = "dense"
-    #: incremental topology refresh (diff positions, re-bin only moved
-    #: nodes, keep caches while the adjacency provably holds).  Bit-
-    #: identical to the full-rebuild reference lane
-    #: (tests/test_topology_delta.py); False pins that reference lane.
+    #: legacy lane selector kept for archived configs: ``False`` pins
+    #: the full-rebuild reference lane (overriding ``topology_refresh``
+    #: when that is left at its default).  Rewritten in __post_init__ to
+    #: mirror the resolved lane, so round-tripped configs stay coherent.
     topology_delta: bool = True
+    #: topology snapshot-refresh lane: "predictive" (kinetic horizons
+    #: published by the mobility plane -- refreshes are O(movers) and
+    #: all-paused intervals skip at O(1)), "delta" (position diffing) or
+    #: "full" (from-scratch reference).  All three are bit-identical
+    #: (tests/test_topology_delta.py, tests/test_topology_kinetic.py).
+    topology_refresh: str = "predictive"
     #: whether the query plane runs (off for pure-reconfiguration studies)
     queries: bool = True
     #: batched broadcast delivery (one kernel event per transmission
@@ -116,6 +123,20 @@ class ScenarioConfig:
             raise ValueError(f"unknown mobility model {self.mobility!r}")
         if self.topology not in _TOPOLOGIES:
             raise ValueError(f"unknown topology backend {self.topology!r}")
+        if self.topology_refresh not in _REFRESH_LANES:
+            raise ValueError(
+                f"unknown topology refresh lane {self.topology_refresh!r}"
+            )
+        # Legacy knob: topology_delta=False predates the lane string and
+        # means "pin the full-rebuild reference"; honor it unless the
+        # caller explicitly picked a lane.  Then rewrite the bool to
+        # mirror the resolved lane so to_dict()/from_dict() round-trips
+        # agree with what actually runs.
+        if not self.topology_delta and self.topology_refresh == "predictive":
+            object.__setattr__(self, "topology_refresh", "full")
+        object.__setattr__(
+            self, "topology_delta", self.topology_refresh != "full"
+        )
         if self.queue not in _QUEUES:
             raise ValueError(f"unknown queue kind {self.queue!r}")
         if self.duration <= 0:

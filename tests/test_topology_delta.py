@@ -1,6 +1,6 @@
 """Delta topology refresh is bit-identical to the full-rebuild lane.
 
-The delta lane (``topology_delta=True``, the default) diffs positions
+The delta lane (``topology_refresh="delta"``) diffs positions
 against the previous snapshot, re-bins only nodes whose grid cell
 changed, and keeps the CSR / neighbor memos / BFS distance cache alive
 whenever it can prove no link flipped.  These tests are the proof
@@ -50,7 +50,10 @@ def _run_lane(seed: int, topology: str, delta: bool, *, churn: bool = True):
         energy_capacity=0.05,
         topology=topology,
         obs_interval=10.0,
-        topology_delta=delta,
+        # Pin the lane explicitly: this file proves delta-vs-full, and
+        # topology_delta=True now resolves to the predictive lane at the
+        # config level (covered by tests/test_topology_kinetic.py).
+        topology_refresh="delta" if delta else "full",
     )
     simulation = build_scenario(cfg)
     if churn:
