@@ -12,7 +12,6 @@ Run: ``python examples/smallworld_analysis.py``
 """
 
 from repro.core import P2pConfig
-from repro.metrics import smallworld_stats
 from repro.scenarios import ScenarioConfig, build_scenario
 
 import os
@@ -44,7 +43,9 @@ def overlay_timeline(algorithm: str, *, snapshots=None):
     rows = []
     for t in snapshots:
         s.sim.run(until=t)
-        rows.append((t, smallworld_stats(s.overlay.graph())))
+        # The scenario's engine applies edge deltas between snapshots
+        # instead of recomputing the overlay metrics from scratch.
+        rows.append((t, s.analytics.smallworld_stats(s.overlay.graph(), key="overlay")))
     return rows
 
 

@@ -64,9 +64,15 @@ def _print_summary(doc: dict) -> None:
             if "speedup_predictive" in c
             else ""
         )
+        growth = (
+            f" growth={c['growth_incremental']:.2f}x"
+            f" cpl_par={c['cpl_speedup_parallel']:.2f}x"
+            if "growth_incremental" in c
+            else ""
+        )
         print(
             f"  -> {c['name']:<17} n={c['n']:<6} "
-            f"{push}speedup={c['speedup']:.2f}x{pred}{tail}"
+            f"{push}speedup={c['speedup']:.2f}x{pred}{growth}{tail}"
         )
 
 

@@ -95,6 +95,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         topology=args.topology,
         topology_refresh=args.topology_refresh,
         queue=args.queue,
+        analytics_exec=args.analytics,
+        analytics_mode=args.analytics_mode,
     )
     store = None
     if args.store:
@@ -102,7 +104,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         store = ResultStore(args.store)
     points = run_sweep(
-        base, [SweepSpec(fieldname, values)], reps=args.reps, store=store
+        base,
+        [SweepSpec(fieldname, values)],
+        reps=args.reps,
+        processes=args.processes,
+        store=store,
     )
     if args.json:
         print(json.dumps([p.to_dict() for p in points], indent=2))
@@ -200,6 +206,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology_refresh=args.topology_refresh,
         obs_interval=args.obs_interval,
         queue=args.queue,
+        analytics_exec=args.analytics,
+        analytics_mode=args.analytics_mode,
+        analytics_processes=args.processes,
     )
     res = run_scenario(cfg)
     if args.store:
@@ -269,6 +278,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(_render_run_stats(res))
     return 0
+
+
+def _add_processes_arg(parser: argparse.ArgumentParser, what: str) -> None:
+    """The one ``--processes`` knob (shared semantics, see repro.parallel)."""
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help=f"worker processes for {what} (default: all cores)",
+    )
+
+
+def _add_analytics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analytics",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="analytics execution lane: serial (default) or BFS sharded "
+        "over worker processes (exactly equal results)",
+    )
+    parser.add_argument(
+        "--analytics-mode",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="analytics maintenance lane: epoch-keyed incremental deltas "
+        "(default) or the stateless full-recompute reference lane "
+        "(exactly equal results)",
+    )
 
 
 def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
@@ -342,6 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     _add_topology_arg(run)
+    _add_analytics_args(run)
+    _add_processes_arg(run, "the parallel analytics lane")
     run.add_argument("--json", action="store_true", help="emit the full RunResult as JSON")
     run.add_argument(
         "--stats",
@@ -368,6 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--reps", type=int, default=1, help="repetitions per point")
     _add_topology_arg(sweep)
+    _add_analytics_args(sweep)
+    _add_processes_arg(sweep, "grid points (one simulation each)")
     sweep.add_argument("--json", action="store_true", help="emit point results as JSON")
     sweep.add_argument(
         "--store", default=None, help="append point results to this ResultStore"

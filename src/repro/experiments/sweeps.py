@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel import default_chunksize
 from ..scenarios.config import ScenarioConfig
 from ..scenarios.runner import run_scenario
 
@@ -132,10 +133,12 @@ def run_sweep(
         identical to the serial run.
     chunksize:
         Grid points submitted to each worker per round trip.  Defaults
-        to ``ceil(len(grid) / (4 * processes))`` (capped at 32) so large
+        to :func:`repro.parallel.default_chunksize` --
+        ``ceil(len(grid) / (4 * processes))`` capped at 32 -- so large
         grids of small points amortize pickling instead of shipping
         one-at-a-time, while keeping ~4 rounds per worker for load
-        balance.  Results come back in grid order either way.
+        balance (the same policy the analytics engine uses for its BFS
+        shard maps).  Results come back in grid order either way.
     store:
         Optional :class:`~repro.experiments.storage.ResultStore`; each
         point result is appended as a ``sweep_point`` record (from the
@@ -147,7 +150,7 @@ def run_sweep(
     jobs = [(base, overrides, reps) for overrides in grid]
     if processes is not None and processes > 1:
         if chunksize is None:
-            chunksize = min(32, -(-len(jobs) // (4 * processes)))
+            chunksize = default_chunksize(len(jobs), processes)
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         with ProcessPoolExecutor(max_workers=processes) as pool:

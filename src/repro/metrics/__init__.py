@@ -1,6 +1,12 @@
 """Metrics: received-message counters, small-world stats, aggregation."""
 
 from .aggregate import FileRankStats, mean_ci, per_file_stats, sorted_curve_mean
+from .analytics import (
+    ANALYTICS_EXECUTION_LANES,
+    ANALYTICS_MODES,
+    AnalyticsEngine,
+    engine_for_world,
+)
 from .balance import gini, jain_fairness, load_balance_report, lorenz_curve
 from .collector import FAMILIES, MetricsCollector
 from .connectivity import (
@@ -34,6 +40,10 @@ from .smallworld import (
 )
 
 __all__ = [
+    "ANALYTICS_EXECUTION_LANES",
+    "ANALYTICS_MODES",
+    "AnalyticsEngine",
+    "engine_for_world",
     "components",
     "connectivity_stats",
     "expected_mean_degree",

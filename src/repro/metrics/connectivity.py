@@ -6,24 +6,33 @@ partitioned.  These helpers quantify that (component structure,
 isolation, reachable-pair fraction) -- the denominator behind every
 answer-rate number in the density and mobility studies.
 
-All of them run on the vectorized CSR kernels
-(:mod:`repro.metrics.graphfast`) via the topology backend's
-:meth:`~repro.net.topology.TopologyBackend.csr` view.  Crucially they
-**never** call ``world.hops_from``: that path memoizes per-source BFS
+.. deprecated::
+    ``components`` / ``connectivity_stats`` / ``reachable_pair_fraction``
+    are one-cycle compatibility shims over the world's shared
+    :class:`repro.metrics.analytics.AnalyticsEngine`
+    (:func:`~repro.metrics.analytics.engine_for_world`), which keys all
+    component state on ``world.adjacency_epoch`` -- repeat queries in an
+    unchanged epoch are cache hits, and between epochs only the edge
+    delta is applied.  The shims delegate exactly (same arrays, same
+    ordering -- ``tests/test_analytics.py``) and will be removed next
+    cycle.  ``expected_mean_degree`` is a closed-form sizing guide and
+    stays.
+
+The engine inherits this module's cache-discipline contract: analytics
+**never** call ``world.hops_from`` (that path memoizes per-source BFS
 vectors in the topology's LRU distance cache, and an analytics sweep
-over every start node used to evict the protocol-hot entries (servent
-connection maintenance, the routing oracle) mid-run.  Sampling metrics
-must observe the run, not perturb its caches.
+over every start node used to evict the protocol-hot entries mid-run).
+Sampling metrics must observe the run, not perturb its caches.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List
 
 import numpy as np
 
 from ..net.world import World
-from .graphfast import component_labels
 
 __all__ = [
     "components",
@@ -33,70 +42,53 @@ __all__ = [
 ]
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.metrics.connectivity.{name}() is deprecated; use "
+        f"repro.metrics.analytics.engine_for_world(world).{name}() "
+        "(removal next cycle)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _engine(world: World):
+    from .analytics import engine_for_world
+
+    return engine_for_world(world)
+
+
 def components(world: World) -> List[np.ndarray]:
     """Connected components of the current radio graph (largest first).
+
+    .. deprecated:: use :meth:`AnalyticsEngine.components`.
 
     Matches the historical per-source BFS semantics exactly: each
     *down* node contributes an empty component (it is absent from the
     radio graph but was still iterated as a start), members are
     ascending node ids, and ties in size keep min-member-id discovery
-    order (``list.sort`` is stable).
+    order.
     """
-    n = world.n
-    indptr, indices = world.topology.csr()
-    down = world.down_mask()
-    labels = component_labels(indptr, indices, registry=world.registry)
-    # Group member ids per label: stable argsort keeps ids ascending.
-    order = np.argsort(labels, kind="stable")
-    sorted_labels = labels[order]
-    starts = np.flatnonzero(
-        np.concatenate(([True], sorted_labels[1:] != sorted_labels[:-1]))
-    ) if n else np.empty(0, dtype=np.int64)
-    bounds = np.append(starts, n)
-    members = {
-        int(sorted_labels[s]): order[s:e] for s, e in zip(bounds[:-1], bounds[1:])
-    }
-    out: List[np.ndarray] = []
-    empty = np.empty(0, dtype=np.int64)
-    for start in range(n):
-        if down[start]:
-            out.append(empty)
-        elif int(labels[start]) == start:
-            # A component surfaces at its minimum-id member, which is
-            # exactly its label -- the same discovery order as the old
-            # ascending per-source sweep.
-            out.append(members[start])
-    out.sort(key=len, reverse=True)
-    return out
+    _deprecated("components")
+    return _engine(world).components(world)
 
 
 def reachable_pair_fraction(world: World) -> float:
-    """Fraction of ordered node pairs with a multi-hop path right now."""
-    comps = components(world)
-    n = world.n
-    if n < 2:
-        return 1.0
-    reachable = sum(len(c) * (len(c) - 1) for c in comps)
-    return reachable / (n * (n - 1))
+    """Fraction of ordered node pairs with a multi-hop path right now.
+
+    .. deprecated:: use :meth:`AnalyticsEngine.reachable_pair_fraction`.
+    """
+    _deprecated("reachable_pair_fraction")
+    return _engine(world).reachable_pair_fraction(world)
 
 
 def connectivity_stats(world: World) -> Dict[str, float]:
-    """Bundle: component count/sizes, isolated nodes, degree, pairs."""
-    comps = components(world)
-    degrees = world.degrees()
-    n = world.n
-    if n < 2:
-        reachable = 1.0
-    else:
-        reachable = sum(len(c) * (len(c) - 1) for c in comps) / (n * (n - 1))
-    return {
-        "components": float(len(comps)),
-        "largest_component": float(len(comps[0])) if comps else 0.0,
-        "largest_fraction": float(len(comps[0])) / world.n if comps else 0.0,
-        "isolated": float(sum(1 for c in comps if len(c) == 1)),
-        "mean_degree": float(degrees.mean()),
-        "reachable_pairs": reachable,
-    }
+    """Bundle: component count/sizes, isolated nodes, degree, pairs.
+
+    .. deprecated:: use :meth:`AnalyticsEngine.connectivity_stats`.
+    """
+    _deprecated("connectivity_stats")
+    return _engine(world).connectivity_stats(world)
 
 
 def expected_mean_degree(n: int, area_w: float, area_h: float, radio_range: float) -> float:

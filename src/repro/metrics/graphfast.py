@@ -359,6 +359,7 @@ def path_length_sums(
     indptr: np.ndarray,
     indices: np.ndarray,
     *,
+    sources: Optional[Sequence[int]] = None,
     chunk: int = DEFAULT_CHUNK,
     registry: Optional[Registry] = None,
 ) -> Tuple[int, int]:
@@ -367,6 +368,12 @@ def path_length_sums(
     Distances are integers, so the total is exact no matter the
     summation order; ``total / pairs`` then reproduces the reference
     characteristic-path-length float bit-for-bit.
+
+    ``sources`` restricts the BFS start set (default: every node).
+    Because both outputs are plain integer sums over (source, target)
+    pairs, any partition of the sources -- e.g. the analytics engine's
+    process-pool shards -- sums back to exactly the full-range answer,
+    whatever the partition boundaries or chunk grouping.
 
     Never materializes the (n, n) distance matrix: a pair reached at
     level ``d`` contributes ``d`` = the number of levels it spent
@@ -377,14 +384,19 @@ def path_length_sums(
     reg = _registry(registry)
     t0 = perf_counter()
     n = len(indptr) - 1
+    src = (
+        np.arange(n, dtype=np.int64)
+        if sources is None
+        else np.asarray(list(sources), dtype=np.int64)
+    )
     total = 0
     pairs = 0
-    if n and len(indices):
+    if len(src) and len(indices):
         deg = np.diff(indptr)
         nz_rows, nz_starts = _nonempty_starts(indptr, deg)
         step = max(1, int(chunk))
-        for lo in range(0, n, step):
-            block = np.arange(lo, min(lo + step, n), dtype=np.int64)
+        for lo in range(0, len(src), step):
+            block = src[lo : lo + step]
             width = len(block)
             words = (width + 63) // 64
             rows = np.arange(width, dtype=np.int64)
@@ -408,6 +420,6 @@ def path_length_sums(
             reached = counts[-1]
             total += sum(reached - c for c in counts[:-1])
             pairs += reached - width
-    reg.counter("graphfast.bfs_sources", layer="metrics").inc(n)
+    reg.counter("graphfast.bfs_sources", layer="metrics").inc(len(src))
     reg.timer("wall", section="graphfast.bfs").add(perf_counter() - t0)
     return total, pairs

@@ -3,27 +3,34 @@
 The paper motivates the Random algorithm with Watts-Strogatz
 small-world theory: a small-world graph has the *high clustering
 coefficient* of a regular graph and the *short characteristic path
-length* of a random graph.  This module computes both, plus the
-regular/random-graph reference values the paper quotes
-(``n/2k`` and ``log n / log k``).
+length* of a random graph.  This module holds the closed-form
+reference values the paper quotes (``n/2k`` and ``log n / log k``)
+and the **deprecated** module-level metric entry points.
 
-Both metrics run on the vectorized CSR kernels
-(:mod:`repro.metrics.graphfast`); networkx is only the *input type*
-(overlay graphs are built as ``nx.Graph``) and the cross-check oracle
-in the tests -- no networkx algorithm executes here.  The kernel
-results are bit-identical to the straightforward python formulations
-(see ``tests/test_graphfast.py``), so archived numbers are unaffected.
+.. deprecated::
+    ``clustering_coefficient`` / ``characteristic_path_length`` /
+    ``smallworld_stats`` are one-cycle compatibility shims over
+    :class:`repro.metrics.analytics.AnalyticsEngine`, which unifies
+    every metrics call signature, avoids rebuilding the CSR per metric,
+    and adds the incremental (epoch-keyed delta) and parallel (sharded
+    BFS) lanes.  They delegate exactly -- same floats bit-for-bit
+    (``tests/test_analytics.py`` asserts the delegation) -- and will be
+    removed next cycle.  New code should use the engine:
+
+    >>> from repro.metrics.analytics import AnalyticsEngine
+    >>> engine = AnalyticsEngine()
+    >>> engine.smallworld_stats(g)          # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
 import networkx as nx
 import numpy as np
 
 from ..obs.registry import Registry
-from .graphfast import average_clustering, graph_csr, path_length_sums
 
 __all__ = [
     "clustering_coefficient",
@@ -34,18 +41,37 @@ __all__ = [
 ]
 
 
+def _engine(registry: Optional[Registry]):
+    # Lazy import: analytics imports the reference formulas below.
+    from .analytics import AnalyticsEngine
+
+    # Stateless full-recompute lane: the legacy functions never kept
+    # state between calls, and the shim must not start to.
+    return AnalyticsEngine(mode="full", registry=registry)
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.metrics.smallworld.{name}() is deprecated; use "
+        f"repro.metrics.analytics.AnalyticsEngine.{name}() "
+        "(removal next cycle)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def clustering_coefficient(g: nx.Graph, *, registry: Optional[Registry] = None) -> float:
     """Average clustering coefficient.
+
+    .. deprecated:: use :meth:`AnalyticsEngine.clustering_coefficient`.
 
     For each node: ``real_conn / possible_conn`` over its neighbourhood
     (exactly the paper's definition); nodes with < 2 neighbours
     contribute 0.  Returns the average over all nodes, 0.0 for an empty
     graph.
     """
-    if g.number_of_nodes() == 0:
-        return 0.0
-    indptr, indices, _ = graph_csr(g)
-    return float(average_clustering(indptr, indices, registry=registry))
+    _deprecated("clustering_coefficient")
+    return _engine(registry).clustering_coefficient(g)
 
 
 def characteristic_path_length(
@@ -53,12 +79,13 @@ def characteristic_path_length(
 ) -> float:
     """Mean shortest-path length over all connected ordered pairs.
 
+    .. deprecated:: use :meth:`AnalyticsEngine.characteristic_path_length`.
+
     Disconnected pairs are excluded (the overlay is often fragmented in
     sparse scenarios); returns ``nan`` when no pair is connected.
     """
-    indptr, indices, _ = graph_csr(g)
-    total, pairs = path_length_sums(indptr, indices, registry=registry)
-    return total / pairs if pairs else float("nan")
+    _deprecated("characteristic_path_length")
+    return _engine(registry).characteristic_path_length(g)
 
 
 def regular_graph_pathlength(n: int, k: int) -> float:
@@ -78,17 +105,11 @@ def random_graph_pathlength(n: int, k: int) -> float:
 def smallworld_stats(
     g: nx.Graph, *, registry: Optional[Registry] = None
 ) -> Dict[str, float]:
-    """Clustering + path length + the two reference values for this n,k."""
-    n = g.number_of_nodes()
-    degrees = [d for _, d in g.degree]
-    k = float(np.mean(degrees)) if degrees else 0.0
-    stats = {
-        "n": float(n),
-        "mean_degree": k,
-        "clustering": clustering_coefficient(g, registry=registry),
-        "path_length": characteristic_path_length(g, registry=registry),
-    }
-    if n > 1 and k > 1:
-        stats["regular_ref"] = regular_graph_pathlength(n, max(int(round(k)), 1))
-        stats["random_ref"] = random_graph_pathlength(n, max(int(round(k)), 2))
-    return stats
+    """Clustering + path length + the two reference values for this n,k.
+
+    .. deprecated:: use :meth:`AnalyticsEngine.smallworld_stats` (which
+       additionally builds the CSR once for both metrics and supports
+       epoch-keyed incremental harvests).
+    """
+    _deprecated("smallworld_stats")
+    return _engine(registry).smallworld_stats(g)

@@ -77,6 +77,13 @@ TOPOLOGY_COST_METRICS: Tuple[str, ...] = (
 #: which analytics implementation ran, never what the simulation did.
 _GRAPHFAST_PREFIX = "graphfast."
 
+#: Prefix covering the analytics-engine counters
+#: (:mod:`repro.metrics.analytics`): cache hits, incremental deltas,
+#: full recomputes and BFS shard counts measure which analytics *lane*
+#: (serial|parallel x full|incremental) produced the metrics -- the
+#: metric values themselves are exactly equal between lanes.
+_ANALYTICS_PREFIX = "analytics."
+
 
 def is_scheduler_cost_key(key: str) -> bool:
     """Whether a flattened ``name{labels}`` key is a scheduler-cost metric."""
@@ -93,6 +100,7 @@ def is_cost_key(key: str) -> bool:
         name in SCHEDULER_COST_METRICS
         or name in TOPOLOGY_COST_METRICS
         or name.startswith(_GRAPHFAST_PREFIX)
+        or name.startswith(_ANALYTICS_PREFIX)
     )
 
 

@@ -30,6 +30,8 @@ _ALGORITHMS = ("basic", "regular", "random", "hybrid")
 _TOPOLOGIES = ("dense", "sparse", "auto")
 _REFRESH_LANES = ("predictive", "delta", "full")
 _QUEUES = ("calendar", "heap")
+_ANALYTICS_EXECS = ("serial", "parallel")
+_ANALYTICS_MODES = ("incremental", "full")
 
 #: "auto" topology switches to the sparse grid backend at this node count.
 AUTO_SPARSE_THRESHOLD = 400
@@ -104,6 +106,18 @@ class ScenarioConfig:
     #: (tests/test_queue_equivalence.py); "heap" pins the reference
     #: lane for A/B comparison.
     queue: str = "calendar"
+    #: analytics execution lane: "serial" or "parallel" (graph-metric
+    #: BFS sharded over a process pool).  Exactly equal results either
+    #: way (tests/test_analytics.py); parallel only pays off at large n.
+    analytics_exec: str = "serial"
+    #: analytics maintenance lane: "incremental" (epoch-keyed state +
+    #: edge deltas between harvests, the default) or "full" (stateless
+    #: recompute reference lane).  Exactly equal results either way.
+    analytics_mode: str = "incremental"
+    #: worker count for the parallel analytics lane; None = every core
+    #: (the same ``--processes`` semantics as ``sweep``, via
+    #: :func:`repro.parallel.resolve_processes`)
+    analytics_processes: Optional[int] = None
 
     p2p: P2pConfig = field(default_factory=P2pConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
@@ -139,6 +153,14 @@ class ScenarioConfig:
         )
         if self.queue not in _QUEUES:
             raise ValueError(f"unknown queue kind {self.queue!r}")
+        if self.analytics_exec not in _ANALYTICS_EXECS:
+            raise ValueError(f"unknown analytics execution lane {self.analytics_exec!r}")
+        if self.analytics_mode not in _ANALYTICS_MODES:
+            raise ValueError(f"unknown analytics mode {self.analytics_mode!r}")
+        if self.analytics_processes is not None and self.analytics_processes < 1:
+            raise ValueError(
+                f"analytics_processes must be >= 1, got {self.analytics_processes}"
+            )
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.obs_interval < 0:

@@ -14,10 +14,8 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..metrics.aggregate import FileRankStats, per_file_stats
-from ..metrics.balance import load_balance_report
-from ..metrics.collector import FAMILIES
+from ..metrics.analytics import AnalyticsEngine
 from ..metrics.lifetimes import lifetime_summary
-from ..metrics.smallworld import smallworld_stats
 from ..obs.export import to_plain
 from ..obs.manifest import RunManifest
 from ..obs.schema import RUN_SCHEMA_VERSION, validate_run_dict
@@ -172,28 +170,33 @@ class RunResult:
 
 
 def harvest(simulation: Simulation) -> RunResult:
-    """Extract a RunResult from a finished simulation."""
+    """Extract a RunResult from a finished simulation.
+
+    All graph/collector analytics go through the simulation's
+    :class:`~repro.metrics.analytics.AnalyticsEngine` (lanes picked by
+    the config); results are exactly equal on every lane combination.
+    """
     cfg = simulation.config
     metrics = simulation.metrics
     members = simulation.members
     records = simulation.overlay.query_records()
     registry = simulation.registry
+    engine = simulation.analytics
+    if engine is None:  # hand-built Simulation without an engine
+        engine = AnalyticsEngine(registry=registry)
     return RunResult(
         config=cfg,
         members=members,
-        sorted_received={
-            fam: metrics.sorted_counts(fam, members) for fam in FAMILIES
-        },
-        totals={fam: metrics.total(fam) for fam in FAMILIES},
+        sorted_received=engine.message_curves(metrics, members),
+        totals=engine.message_totals(metrics),
         file_stats=per_file_stats(records, cfg.num_files),
-        overlay_stats=smallworld_stats(simulation.overlay.graph(), registry=registry),
+        overlay_stats=engine.smallworld_stats(
+            simulation.overlay.graph(), key="overlay"
+        ),
         energy=simulation.world.energy.consumed.copy(),
         num_queries=len(records),
         events=simulation.sim.events_dispatched,
-        balance={
-            fam: load_balance_report(metrics.family_counts(fam)[members])
-            for fam in FAMILIES
-        },
+        balance=engine.load_balance(metrics, members),
         connection_lifetimes=lifetime_summary(simulation.lifetimes),
         counters=registry.aggregated(skip_kinds=("timer",)),
         timeseries=(
@@ -216,6 +219,8 @@ def run_scenario(cfg: ScenarioConfig) -> RunResult:
         simulation.run()
     with registry.timed("scenario.harvest"):
         result = harvest(simulation)
+    if simulation.analytics is not None:
+        simulation.analytics.close()  # release the BFS worker pool, if any
     # Wall sections accumulated during harvest must reach the result too.
     result.wall = registry.wall_times()
     return result

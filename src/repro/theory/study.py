@@ -21,7 +21,7 @@ from typing import List, Sequence
 import networkx as nx
 import numpy as np
 
-from ..metrics.smallworld import characteristic_path_length, clustering_coefficient
+from ..metrics.analytics import AnalyticsEngine
 from .lattice import watts_strogatz
 from .predictions import (
     lattice_clustering,
@@ -54,14 +54,15 @@ def rewiring_sweep(
 ) -> List[SweepPoint]:
     """Run the WS sweep; returns one :class:`SweepPoint` per p."""
     rng = np.random.default_rng(seed)
+    engine = AnalyticsEngine()
     base_c = base_l = None
     points: List[SweepPoint] = []
     for p in ps:
         cs, ls = [], []
         for _ in range(reps):
             g = watts_strogatz(n, k, p, rng)
-            cs.append(clustering_coefficient(g))
-            ls.append(characteristic_path_length(g))
+            cs.append(engine.clustering_coefficient(g))
+            ls.append(engine.characteristic_path_length(g))
         c, l = float(np.mean(cs)), float(np.nanmean(ls))
         if base_c is None:
             base_c, base_l = c, l
@@ -87,8 +88,9 @@ def overlay_smallworldness(g: nx.Graph) -> dict:
     n = g.number_of_nodes()
     degrees = [d for _, d in g.degree]
     k = float(np.mean(degrees)) if degrees else 0.0
-    c = clustering_coefficient(g)
-    l = characteristic_path_length(g)
+    engine = AnalyticsEngine()
+    c = engine.clustering_coefficient(g)
+    l = engine.characteristic_path_length(g)
     out = {
         "n": n,
         "mean_degree": k,

@@ -115,6 +115,7 @@ class TestSuiteDocument:
             "scenario_e2e",
             "topology_refresh",
             "metrics_kernels",
+            "analytics_plane",
         }
         # The metro flagship is skipped on quick unless asked for.
         assert "metro_flagship" not in names
