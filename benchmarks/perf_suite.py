@@ -1,6 +1,6 @@
 """Substrate performance suite: the repo's recorded perf trajectory.
 
-Eight workload families time the hot paths the fast lanes optimize (see
+Nine workload families time the hot paths the fast lanes optimize (see
 docs/PERFORMANCE.md):
 
 * **kernel_throughput** -- raw event dispatch rate (events/sec) of the
@@ -22,6 +22,13 @@ docs/PERFORMANCE.md):
   for bit-identity over several seeds;
 * **scenario_e2e** -- fig-7-style end-to-end scenarios (paper density,
   area scaled with sqrt(n)) at n in {50, 150, 600, 2000};
+* **query_plane** -- a query-heavy dense scenario (target radio degree
+  ~20, zipf-targeted repeat queries) run once per rebroadcast policy
+  (``flood`` reference, ``probabilistic``, ``counter:2``, ``contact``
+  with contact-routed queries); the headline figures are each policy's
+  ``events_dispatched`` reduction against the flood reference and its
+  answer-rate delta (suppression must buy its event savings without
+  losing answers), plus a capped metro rung;
 * **topology_refresh** -- a servent-shaped query mix (neighbor checks +
   hot-source BFS) under paper random-waypoint mobility, run on the
   incremental *delta* snapshot lane vs the *full*-rebuild reference
@@ -77,6 +84,7 @@ from repro.mobility import Area, RandomWaypoint, Static
 from repro.net import Channel, FloodManager, World
 from repro.obs.compare import semantic_snapshot, snapshot_diff
 from repro.obs.manifest import git_revision
+from repro.core.query import QueryConfig
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.runner import run_scenario
 from repro.sim import Simulator
@@ -90,6 +98,9 @@ __all__ = [
     "bench_broadcast_fanout",
     "compare_fanout_lanes",
     "bench_scenario_e2e",
+    "bench_query_plane",
+    "compare_query_plane",
+    "QUERY_PLANE_POLICIES",
     "bench_metro_flagship",
     "compare_metro_flagship",
     "bench_topology_refresh",
@@ -123,6 +134,21 @@ QUEUE_KERNEL_DEPTHS = (2000, 10_000)
 #: The metro flagship tier (ROADMAP "city district" scale).
 METRO_N = 10_000
 METRO_DURATION = 5.0
+
+#: query_plane rung: n and target mean radio degree.  Degree ~20 is the
+#: dense regime where redundant rebroadcasts dominate the event budget
+#: -- exactly what the suppression policies attack; at the paper's
+#: sparse ~1.6 degree every copy matters and suppression has nothing to
+#: win.
+QUERY_PLANE_N = 600
+QUERY_PLANE_DEGREE = 20.0
+QUERY_PLANE_DURATION = 40.0
+#: policy lanes the query_plane family records (reference first).
+QUERY_PLANE_POLICIES = ("flood", "probabilistic", "counter:2", "contact")
+#: metro-rung density: moderate degree keeps the n = 10 000 rung's
+#: event volume inside a CI-friendly wall budget while staying dense
+#: enough for counter suppression to bite.
+QUERY_PLANE_METRO_DEGREE = 12.0
 
 
 class BenchSchemaError(ValueError):
@@ -539,6 +565,151 @@ def compare_metro_flagship(
         ),
         "speedup": wall_ref / wall_cal if wall_cal > 0 else float("inf"),
     }
+
+
+def _counter_total(counters: Dict[str, float], name: str) -> float:
+    """Sum a counter over every remaining label combination."""
+    prefix = name + "{"
+    return sum(
+        v for k, v in counters.items() if k == name or k.startswith(prefix)
+    )
+
+
+def _policy_key(policy: str) -> str:
+    """A policy spec as a JSON-key-safe suffix (``counter:2`` -> ``counter_2``)."""
+    return policy.replace(":", "_").replace(".", "_")
+
+
+def bench_query_plane(
+    n: int,
+    *,
+    policy: str = "flood",
+    duration: float = QUERY_PLANE_DURATION,
+    seed: int = 1,
+    target_degree: float = QUERY_PLANE_DEGREE,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Query-heavy dense scenario on one rebroadcast-policy lane.
+
+    The area is sized for ``target_degree`` mean radio neighbours
+    (``side = sqrt(n pi r^2 / d)``), queries are zipf-targeted with
+    short gaps so repeat queries dominate (the contact policy's food),
+    and the query timing scales down with short horizons so the metro
+    rung still closes its response windows.  ``policy == "contact"``
+    also contact-routes the query plane (``query_policy="contact"``);
+    every other policy keeps the reference Gnutella flood on top of the
+    suppressed broadcast planes.
+    """
+    side = math.sqrt(n * math.pi * 100.0 / target_degree)
+    cfg = ScenarioConfig(
+        num_nodes=n,
+        duration=duration,
+        seed=seed,
+        area_width=side,
+        area_height=side,
+        topology="auto",
+        rebroadcast=policy,
+        query_policy="contact" if policy == "contact" else "flood",
+        query=QueryConfig(
+            warmup=min(2.0, 0.2 * duration),
+            response_wait=min(4.0, 0.4 * duration),
+            gap_min=2.0,
+            gap_max=6.0,
+            target="zipf",
+        ),
+    )
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        result = run_scenario(cfg)
+        walls.append(perf_counter() - t0)
+    assert result is not None
+    wall = min(walls)
+    queries = result.num_queries
+    answered = sum(s.answered for s in result.file_stats)
+    counters = result.counters
+    return {
+        "name": "query_plane",
+        "params": {
+            "n": n,
+            "duration": duration,
+            "seed": seed,
+            "lane": policy,
+            "topology": cfg.resolved_topology,
+            "target_degree": target_degree,
+        },
+        **_spread(walls),
+        "events_dispatched": result.events,
+        "heap_pushes": counters.get("kernel.heap_pushes", 0.0),
+        "queries": queries,
+        "answered": answered,
+        "answer_rate": answered / queries if queries else 0.0,
+        "suppressed": _counter_total(counters, "flood.suppressed"),
+        "assessment_cancels": _counter_total(counters, "flood.assessment_cancels"),
+        "contact_hits": _counter_total(counters, "card.contact_hits"),
+        "fallback_floods": _counter_total(counters, "card.fallback_floods"),
+        "sim_seconds_per_wall_second": duration / wall if wall > 0 else float("inf"),
+    }
+
+
+def compare_query_plane(
+    n: int = QUERY_PLANE_N,
+    *,
+    duration: float = QUERY_PLANE_DURATION,
+    seed: int = 1,
+    target_degree: float = QUERY_PLANE_DEGREE,
+    policies: Sequence[str] = QUERY_PLANE_POLICIES,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Every policy lane against the flood reference at one rung.
+
+    Per non-reference policy the comparison records the
+    ``events_dispatched`` and heap-push reduction plus the answer-rate
+    delta (positive = the policy answered *more* queries than flood --
+    contact routing can, by reaching holders the TTL-scoped flood
+    misses).  ``best_events_reduction`` is the headline the acceptance
+    gate checks (>= 2x at the n = 600 rung with an answer rate within
+    5 % of flood).
+    """
+    lanes: Dict[str, Dict[str, Any]] = {}
+    for policy in policies:
+        lanes[policy] = bench_query_plane(
+            n,
+            policy=policy,
+            duration=duration,
+            seed=seed,
+            target_degree=target_degree,
+            repeats=repeats,
+        )
+    ref = lanes[policies[0]]
+    out: Dict[str, Any] = {"name": "query_plane", "n": n}
+    best_reduction = 1.0
+    best_wall = ref["wall_seconds"]
+    for policy in policies[1:]:
+        lane = lanes[policy]
+        key = _policy_key(policy)
+        reduction = (
+            ref["events_dispatched"] / lane["events_dispatched"]
+            if lane["events_dispatched"]
+            else float("inf")
+        )
+        out[f"events_reduction_{key}"] = reduction
+        out[f"push_reduction_{key}"] = (
+            ref["heap_pushes"] / lane["heap_pushes"]
+            if lane["heap_pushes"]
+            else float("inf")
+        )
+        out[f"answer_rate_delta_{key}"] = lane["answer_rate"] - ref["answer_rate"]
+        if reduction > best_reduction:
+            best_reduction = reduction
+            best_wall = lane["wall_seconds"]
+    out["best_events_reduction"] = best_reduction
+    out["speedup"] = (
+        ref["wall_seconds"] / best_wall if best_wall > 0 else float("inf")
+    )
+    out.update(lanes)
+    return out
 
 
 def _refresh_workload(
@@ -1094,6 +1265,35 @@ def run_suite(
                 "speedup": wall_ref / wall_bat if wall_bat > 0 else float("inf"),
             }
         )
+
+    # query_plane runs once per policy lane (counters are deterministic;
+    # the headline is an event-count ratio, not wall clock).
+    qp_n = max(sizes) if quick else QUERY_PLANE_N
+    qp_duration = 10.0 if quick else QUERY_PLANE_DURATION
+    say(
+        f"query_plane: n={qp_n} duration={qp_duration:.1f}s "
+        f"({len(QUERY_PLANE_POLICIES)} policy lanes)"
+    )
+    cmp_ = compare_query_plane(qp_n, duration=qp_duration, repeats=1)
+    for policy in QUERY_PLANE_POLICIES:
+        results.append(cmp_.pop(policy))
+    comparisons.append(cmp_)
+    if metro:
+        metro_policies = ("flood", "counter:2")
+        say(
+            f"query_plane: n={metro} duration={min(metro_duration, 5.0):.1f}s "
+            f"(metro rung, {len(metro_policies)} policy lanes)"
+        )
+        cmp_ = compare_query_plane(
+            metro,
+            duration=min(metro_duration, 5.0),
+            target_degree=QUERY_PLANE_METRO_DEGREE,
+            policies=metro_policies,
+            repeats=1,
+        )
+        for policy in metro_policies:
+            results.append(cmp_.pop(policy))
+        comparisons.append(cmp_)
 
     if metro:
         say(f"metro_flagship: n={metro} duration={metro_duration:.1f}s (both lanes)")

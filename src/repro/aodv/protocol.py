@@ -29,7 +29,9 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..net.packet import Frame
 from ..net.radio import Channel, NetNode
+from ..net.suppression import RebroadcastPolicy, make_rebroadcast_policy, parse_policy_spec
 from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
 from ..routing.base import Router
 from .messages import SEQ_UNKNOWN, DataPacket, Hello, Rerr, Rrep, Rreq
 from .table import RouteTable
@@ -38,6 +40,8 @@ __all__ = ["AodvConfig", "AodvAgent", "AodvRouter"]
 
 KIND_CTRL = "aodv.ctrl"
 KIND_DATA = "aodv.data"
+#: obs label of the RREQ dissemination plane (suppression counters)
+KIND_RREQ_PLANE = "aodv.rreq"
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,12 @@ class AodvConfig:
         while ttl < self.ttl_threshold:
             ttls.append(ttl)
             ttl += self.ttl_increment
+        if not ttls:
+            # ttl_start >= ttl_threshold: still probe one bounded ring
+            # at the threshold before escalating to network-wide floods
+            # (draft §6.4 expands *up to* TTL_THRESHOLD, then jumps to
+            # NET_DIAMETER).
+            ttls.append(self.ttl_threshold)
         ttls.append(self.net_diameter)
         ttls.extend([self.net_diameter] * self.rreq_retries)
         return ttls
@@ -95,6 +105,8 @@ class AodvAgent:
         sim: Simulator,
         config: AodvConfig,
         deliver_up: Callable[[str, int, int, Any, int], None],
+        *,
+        policy: Optional[RebroadcastPolicy] = None,
     ) -> None:
         self.node = node
         self.nid = node.nid
@@ -102,6 +114,10 @@ class AodvAgent:
         self.sim = sim
         self.cfg = config
         self.deliver_up = deliver_up
+        #: RREQ rebroadcast policy; reference policies fold to None so
+        #: the flood lane keeps the historical inline broadcast.
+        self.policy = policy
+        self._policy = None if policy is None or policy.reference else policy
         self.table = RouteTable(self.nid)
         self.seq = 0
         self.rreq_id = 0
@@ -305,10 +321,14 @@ class AodvAgent:
     def _on_rreq(self, frame: Frame, rreq: Rreq) -> None:
         key = (rreq.origin, rreq.rreq_id)
         if key in self._seen_rreqs:
+            if self._policy is not None:
+                self._policy.duplicate(key)
             return
         self._seen_rreqs.add(key)
         now = self.sim.now
         hops_to_origin = rreq.hop_count + 1
+        if self._policy is not None:
+            self._policy.overhear(rreq.origin, hops_to_origin)
         # Reverse route to the origin via the node we heard this from.
         self.table.offer(
             rreq.origin,
@@ -358,9 +378,13 @@ class AodvAgent:
                 hop_count=hops_to_origin,
                 ttl=rreq.ttl - 1,
             )
-            self.channel.broadcast(
-                Frame(src=self.nid, dst=-1, kind=KIND_CTRL, payload=fwd, size=frame.size)
+            out = Frame(
+                src=self.nid, dst=-1, kind=KIND_CTRL, payload=fwd, size=frame.size
             )
+            if self._policy is None:
+                self.channel.broadcast(out)
+            else:
+                self._policy.forward(key, lambda: self.channel.broadcast(out))
 
     def _send_rrep(self, rrep: Rrep) -> None:
         """Unicast an RREP one hop toward its origin along reverse route."""
@@ -433,6 +457,15 @@ class AodvRouter(Router):
         Shared substrate (the channel must belong to ``world``).
     config:
         Protocol constants.
+    rebroadcast:
+        RREQ rebroadcast-policy spec (see :mod:`repro.net.suppression`);
+        the default ``"flood"`` keeps the draft's plain expanding-ring
+        flood bit-identically.
+    rng:
+        :class:`~repro.sim.rng.RngRegistry` providing the policies'
+        private random streams (``suppression.aodv.rreq.<nid>``); a
+        seed-0 registry is created when omitted.  Streams are only
+        instantiated by policies that actually draw.
     """
 
     def __init__(
@@ -441,13 +474,41 @@ class AodvRouter(Router):
         channel: Channel,
         *,
         config: Optional[AodvConfig] = None,
+        rebroadcast: str = "flood",
+        rng: Optional[RngRegistry] = None,
     ) -> None:
         super().__init__()
         self.sim = sim
         self.channel = channel
         self.cfg = config if config is not None else AodvConfig()
+        spec = parse_policy_spec(rebroadcast)
+        self._rng = rng if rng is not None else RngRegistry(0)
+        registry = getattr(channel, "registry", None)
+        if registry is None:
+            registry = sim.registry
+        world = channel.world
         self.agents = [
-            AodvAgent(node, channel, sim, self.cfg, self._deliver_up) for node in channel.nodes
+            AodvAgent(
+                node,
+                channel,
+                sim,
+                self.cfg,
+                self._deliver_up,
+                policy=make_rebroadcast_policy(
+                    spec,
+                    plane=KIND_RREQ_PLANE,
+                    node=node.nid,
+                    registry=registry,
+                    sim=sim,
+                    rng_factory=(
+                        lambda nid=node.nid: self._rng.stream(
+                            f"suppression.{KIND_RREQ_PLANE}.{nid}"
+                        )
+                    ),
+                    degree=(lambda nid=node.nid: len(world.neighbors(nid))),
+                ),
+            )
+            for node in channel.nodes
         ]
 
     def send(

@@ -97,6 +97,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         queue=args.queue,
         analytics_exec=args.analytics,
         analytics_mode=args.analytics_mode,
+        rebroadcast=args.rebroadcast,
+        query_policy=args.query_policy,
     )
     store = None
     if args.store:
@@ -209,6 +211,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         analytics_exec=args.analytics,
         analytics_mode=args.analytics_mode,
         analytics_processes=args.processes,
+        rebroadcast=args.rebroadcast,
+        query_policy=args.query_policy,
     )
     res = run_scenario(cfg)
     if args.store:
@@ -308,6 +312,26 @@ def _add_analytics_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rebroadcast",
+        default="flood",
+        metavar="POLICY",
+        help="broadcast-plane rebroadcast policy: flood (reference, "
+        "default), probabilistic[:p] (gossip-p, degree-adaptive floor), "
+        "counter[:c] (cancel after c duplicate overhears) or contact "
+        "(flood + CARD contact harvesting)",
+    )
+    parser.add_argument(
+        "--query-policy",
+        choices=("flood", "contact"),
+        default="flood",
+        help="query-plane policy: flood (reference Gnutella flood, "
+        "default) or contact (route to known holders first, "
+        "scoped-flood fallback)",
+    )
+
+
 def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology",
@@ -380,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     _add_topology_arg(run)
     _add_analytics_args(run)
+    _add_policy_args(run)
     _add_processes_arg(run, "the parallel analytics lane")
     run.add_argument("--json", action="store_true", help="emit the full RunResult as JSON")
     run.add_argument(
@@ -408,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--reps", type=int, default=1, help="repetitions per point")
     _add_topology_arg(sweep)
     _add_analytics_args(sweep)
+    _add_policy_args(sweep)
     _add_processes_arg(sweep, "grid points (one simulation each)")
     sweep.add_argument("--json", action="store_true", help="emit point results as JSON")
     sweep.add_argument(

@@ -17,6 +17,12 @@ import numpy as np
 
 from ..net.broadcast import FloodManager
 from ..net.radio import Channel
+from ..net.suppression import (
+    QUERY_POLICY_KINDS,
+    ContactPolicy,
+    make_rebroadcast_policy,
+    parse_policy_spec,
+)
 from ..net.world import World
 from ..obs.registry import Registry
 from ..routing.base import Router
@@ -60,6 +66,15 @@ class OverlayNetwork:
     registry:
         Observability registry shared by the flood planes and servents;
         defaults to the channel's registry.
+    rebroadcast:
+        Rebroadcast-policy spec for the discovery flood plane
+        (``"flood" | "probabilistic[:p]" | "counter[:c]" | "contact"``,
+        see :mod:`repro.net.suppression`).  ``"flood"`` keeps the
+        historical always-forward behaviour bit-identically.
+    query_policy:
+        Query-plane policy: ``"flood"`` (reference Gnutella flood) or
+        ``"contact"`` (route to known holders first, scoped-flood
+        fallback).
     """
 
     def __init__(
@@ -80,6 +95,8 @@ class OverlayNetwork:
         count_received: Optional[Callable[[int, str], None]] = None,
         lifetime_log=None,
         registry: Optional[Registry] = None,
+        rebroadcast: str = "flood",
+        query_policy: str = "flood",
     ) -> None:
         self.sim = sim
         self.world = world
@@ -99,9 +116,42 @@ class OverlayNetwork:
             registry = getattr(channel, "registry", None)
         self.registry = registry if registry is not None else Registry()
 
+        spec = parse_policy_spec(rebroadcast)
+        self.rebroadcast = str(spec)
+        if query_policy not in QUERY_POLICY_KINDS:
+            raise ValueError(
+                f"unknown query policy {query_policy!r} (choose from {QUERY_POLICY_KINDS})"
+            )
+        self.query_policy = query_policy
+
         # Flood plane on every node; non-members forward but don't listen.
+        # One suppression policy per node decides its rebroadcasts; the
+        # rng stream and degree view are created lazily so the reference
+        # lane touches neither.
+        self.flood_policies = [
+            make_rebroadcast_policy(
+                spec,
+                plane=FLOOD_KIND,
+                node=node.nid,
+                registry=self.registry,
+                sim=sim,
+                rng_factory=(
+                    lambda nid=node.nid: self.rng.stream(
+                        f"suppression.{FLOOD_KIND}.{nid}"
+                    )
+                ),
+                degree=(lambda nid=node.nid: len(world.neighbors(nid))),
+            )
+            for node in channel.nodes
+        ]
         self.floods: List[FloodManager] = [
-            FloodManager(node, channel, FLOOD_KIND, registry=self.registry)
+            FloodManager(
+                node,
+                channel,
+                FLOOD_KIND,
+                registry=self.registry,
+                policy=self.flood_policies[node.nid],
+            )
             for node in channel.nodes
         ]
 
@@ -116,6 +166,19 @@ class OverlayNetwork:
 
         self.servents: Dict[int, Servent] = {}
         for m in self.members:
+            qpolicy = None
+            if query_policy == "contact":
+                # Share the member's flood-plane contact table when the
+                # broadcast plane harvests one too; otherwise the query
+                # plane keeps its own (fed by query answers only).
+                flood_policy = self.flood_policies[m]
+                qpolicy = (
+                    flood_policy
+                    if isinstance(flood_policy, ContactPolicy)
+                    else ContactPolicy(
+                        registry=self.registry, plane="p2p.query", node=m
+                    )
+                )
             servent = Servent(
                 m,
                 sim,
@@ -130,6 +193,7 @@ class OverlayNetwork:
                 count_received=count_received,
                 lifetime_log=lifetime_log,
                 registry=self.registry,
+                query_policy=qpolicy,
             )
             alg = make_algorithm(
                 algorithm,
@@ -193,13 +257,26 @@ class OverlayNetwork:
 
     def stats(self) -> Dict[str, float]:
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
-        return {
+        out = {
             "members": len(self.members),
             "open_connections": self.open_connections(),
             "flood_originated": sum(f._c_originated.value for f in self.floods),
             "flood_forwarded": sum(f._c_forwarded.value for f in self.floods),
             "flood_duplicates": sum(f._c_duplicates.value for f in self.floods),
         }
+        if self.rebroadcast != "flood":
+            out["flood_suppressed"] = sum(
+                p.stats().get("suppressed", 0.0) for p in self.flood_policies
+            )
+        if self.query_policy == "contact":
+            qstats = [
+                s.query_engine.policy.stats()
+                for s in self.servents.values()
+                if s.query_engine.policy is not None
+            ]
+            out["card_contact_hits"] = sum(s["contact_hits"] for s in qstats)
+            out["card_fallback_floods"] = sum(s["fallback_floods"] for s in qstats)
+        return out
 
     def query_records(self):
         """All finished QueryRecords across members (metrics harvest)."""

@@ -85,12 +85,29 @@ class QueryRecord:
 
 
 class QueryEngine:
-    """Per-servent query issue/forward/answer logic."""
+    """Per-servent query issue/forward/answer logic.
 
-    def __init__(self, servent, config: QueryConfig, rng: np.random.Generator) -> None:
+    When a :class:`~repro.net.suppression.ContactPolicy` is attached
+    (``ScenarioConfig.query_policy = "contact"``), the engine routes a
+    query *directly* to holders it learned from earlier answers and
+    only falls back to the reference TTL-scoped flood when no answer
+    arrives within the policy's ``fallback_wait``; with no policy the
+    behaviour is bit-identical to the paper's Gnutella flood.
+    """
+
+    def __init__(
+        self,
+        servent,
+        config: QueryConfig,
+        rng: np.random.Generator,
+        *,
+        policy=None,
+    ) -> None:
         self.servent = servent
         self.cfg = config
         self.rng = rng
+        #: optional ContactPolicy (duck-typed; None = reference flood)
+        self.policy = policy
         self._seen: Set[int] = set()
         self._open: Dict[int, QueryRecord] = {}
         #: finished QueryRecords (harvested by the metrics layer)
@@ -150,9 +167,42 @@ class QueryEngine:
         )
         self._open[q.qid] = record
         self._seen.add(q.qid)  # never answer/forward our own query
+        if self.policy is not None:
+            contacts = [h for h in self.policy.contacts_for(fid) if h != self.servent.nid]
+            if contacts:
+                # Contact route: a couple of TTL-1 unicasts instead of a
+                # network-wide flood; receivers dedup on the same qid, so
+                # a later fallback flood can never double-answer.
+                self.policy.count_contact_hit()
+                direct = Query(
+                    requirer=self.servent.nid, file_id=fid, ttl=1, p2p_hops=0, qid=q.qid
+                )
+                for holder in contacts:
+                    self.servent.send(holder, direct)
+                # The fallback must fire inside the response window or a
+                # stale-contact miss can never be recovered.
+                wait = min(self.policy.fallback_wait, 0.5 * self.cfg.response_wait)
+                self.servent.sim.schedule(wait, self._fallback_flood, record)
+                return record
         for peer in neighbors:
             self.servent.send(peer, q)
         return record
+
+    def _fallback_flood(self, record: QueryRecord) -> None:
+        """Contact route missed: fall back to the reference scoped flood."""
+        if record.closed or record.answers:
+            return
+        self.policy.count_fallback()
+        self.policy.forget(record.file_id)  # the bindings were stale
+        fwd = Query(
+            requirer=record.requirer,
+            file_id=record.file_id,
+            ttl=self.cfg.ttl,
+            p2p_hops=0,
+            qid=record.qid,
+        )
+        for peer in self.servent.overlay_neighbors():
+            self.servent.send(peer, fwd)
 
     def _close(self, record: QueryRecord) -> None:
         record.closed = True
@@ -187,6 +237,8 @@ class QueryEngine:
         if not self.servent.store.has(data.file_id):
             self.servent.store.add(data.file_id)
             self.downloads.append(data.file_id)
+        if self.policy is not None:
+            self.policy.learn_holder(data.file_id, data.holder)
 
     # ------------------------------------------------------------------
     # receiving
@@ -196,6 +248,8 @@ class QueryEngine:
         if q.qid in self._seen:
             return  # rule 1: process/forward once
         self._seen.add(q.qid)
+        if self.policy is not None:
+            self.policy.observe_query(q.requirer, q.file_id, q.p2p_hops + 1)
         arrived = Query(
             requirer=q.requirer,
             file_id=q.file_id,
@@ -226,6 +280,8 @@ class QueryEngine:
 
     def on_hit(self, src: int, hit: QueryHit) -> None:
         """Record an answer to one of our open queries."""
+        if self.policy is not None:
+            self.policy.learn_holder(hit.file_id, hit.holder)
         record = self._open.get(hit.qid)
         if record is None:
             return  # late answer after the 30 s window: discarded

@@ -81,6 +81,7 @@ class Servent:
         count_received: Optional[Callable[[int, str], None]] = None,
         lifetime_log=None,
         registry: Optional[Registry] = None,
+        query_policy=None,
     ) -> None:
         self.nid = nid
         self.sim = sim
@@ -95,7 +96,7 @@ class Servent:
         #: optional LifetimeLog for closed-connection statistics
         self.lifetime_log = lifetime_log
         self.connections = ConnectionTable(nid, config.max_connections)
-        self.query_engine = QueryEngine(self, query_config, rng)
+        self.query_engine = QueryEngine(self, query_config, rng, policy=query_policy)
         self.algorithm: Optional["ReconfigAlgorithm"] = None
         if registry is None:
             registry = getattr(flood, "registry", None)

@@ -9,12 +9,7 @@ from .analytics import (
 )
 from .balance import gini, jain_fairness, load_balance_report, lorenz_curve
 from .collector import FAMILIES, MetricsCollector
-from .connectivity import (
-    components,
-    connectivity_stats,
-    expected_mean_degree,
-    reachable_pair_fraction,
-)
+from .connectivity import expected_mean_degree
 from .graphfast import (
     average_clustering,
     component_labels,
@@ -31,23 +26,14 @@ from .timeseries import (
     probe_family_total,
     probe_mean_degree,
 )
-from .smallworld import (
-    characteristic_path_length,
-    clustering_coefficient,
-    random_graph_pathlength,
-    regular_graph_pathlength,
-    smallworld_stats,
-)
+from .smallworld import random_graph_pathlength, regular_graph_pathlength
 
 __all__ = [
     "ANALYTICS_EXECUTION_LANES",
     "ANALYTICS_MODES",
     "AnalyticsEngine",
     "engine_for_world",
-    "components",
-    "connectivity_stats",
     "expected_mean_degree",
-    "reachable_pair_fraction",
     "average_clustering",
     "component_labels",
     "graph_csr",
@@ -72,9 +58,6 @@ __all__ = [
     "sorted_curve_mean",
     "FAMILIES",
     "MetricsCollector",
-    "characteristic_path_length",
-    "clustering_coefficient",
     "random_graph_pathlength",
     "regular_graph_pathlength",
-    "smallworld_stats",
 ]

@@ -1,94 +1,29 @@
-"""Physical-connectivity analytics.
+"""Physical-connectivity sizing helpers.
 
 The paper's scenarios are *sparse*: 50 nodes with 10 m radios on
 100 m x 100 m average ~1.6 neighbours, so the ad-hoc network is usually
-partitioned.  These helpers quantify that (component structure,
-isolation, reachable-pair fraction) -- the denominator behind every
-answer-rate number in the density and mobility studies.
+partitioned.  Measured connectivity analytics (component structure,
+isolation, reachable-pair fraction) live on the world's shared
+:class:`repro.metrics.analytics.AnalyticsEngine`
+(:func:`~repro.metrics.analytics.engine_for_world`), which keys all
+component state on ``world.adjacency_epoch`` -- repeat queries in an
+unchanged epoch are cache hits, and between epochs only the edge delta
+is applied.  This module keeps only the closed-form sizing guide.
 
-.. deprecated::
-    ``components`` / ``connectivity_stats`` / ``reachable_pair_fraction``
-    are one-cycle compatibility shims over the world's shared
-    :class:`repro.metrics.analytics.AnalyticsEngine`
-    (:func:`~repro.metrics.analytics.engine_for_world`), which keys all
-    component state on ``world.adjacency_epoch`` -- repeat queries in an
-    unchanged epoch are cache hits, and between epochs only the edge
-    delta is applied.  The shims delegate exactly (same arrays, same
-    ordering -- ``tests/test_analytics.py``) and will be removed next
-    cycle.  ``expected_mean_degree`` is a closed-form sizing guide and
-    stays.
-
-The engine inherits this module's cache-discipline contract: analytics
-**never** call ``world.hops_from`` (that path memoizes per-source BFS
-vectors in the topology's LRU distance cache, and an analytics sweep
-over every start node used to evict the protocol-hot entries mid-run).
-Sampling metrics must observe the run, not perturb its caches.
+The engine inherits the cache-discipline contract: analytics **never**
+call ``world.hops_from`` (that path memoizes per-source BFS vectors in
+the topology's LRU distance cache, and an analytics sweep over every
+start node used to evict the protocol-hot entries mid-run).  Sampling
+metrics must observe the run, not perturb its caches.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List
-
 import numpy as np
 
-from ..net.world import World
-
 __all__ = [
-    "components",
-    "connectivity_stats",
-    "reachable_pair_fraction",
     "expected_mean_degree",
 ]
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"repro.metrics.connectivity.{name}() is deprecated; use "
-        f"repro.metrics.analytics.engine_for_world(world).{name}() "
-        "(removal next cycle)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def _engine(world: World):
-    from .analytics import engine_for_world
-
-    return engine_for_world(world)
-
-
-def components(world: World) -> List[np.ndarray]:
-    """Connected components of the current radio graph (largest first).
-
-    .. deprecated:: use :meth:`AnalyticsEngine.components`.
-
-    Matches the historical per-source BFS semantics exactly: each
-    *down* node contributes an empty component (it is absent from the
-    radio graph but was still iterated as a start), members are
-    ascending node ids, and ties in size keep min-member-id discovery
-    order.
-    """
-    _deprecated("components")
-    return _engine(world).components(world)
-
-
-def reachable_pair_fraction(world: World) -> float:
-    """Fraction of ordered node pairs with a multi-hop path right now.
-
-    .. deprecated:: use :meth:`AnalyticsEngine.reachable_pair_fraction`.
-    """
-    _deprecated("reachable_pair_fraction")
-    return _engine(world).reachable_pair_fraction(world)
-
-
-def connectivity_stats(world: World) -> Dict[str, float]:
-    """Bundle: component count/sizes, isolated nodes, degree, pairs.
-
-    .. deprecated:: use :meth:`AnalyticsEngine.connectivity_stats`.
-    """
-    _deprecated("connectivity_stats")
-    return _engine(world).connectivity_stats(world)
 
 
 def expected_mean_degree(n: int, area_w: float, area_h: float, radio_range: float) -> float:

@@ -1,91 +1,29 @@
-"""Small-world graph metrics (§6.1.2 of the paper).
+"""Small-world reference values (§6.1.2 of the paper).
 
 The paper motivates the Random algorithm with Watts-Strogatz
 small-world theory: a small-world graph has the *high clustering
 coefficient* of a regular graph and the *short characteristic path
 length* of a random graph.  This module holds the closed-form
-reference values the paper quotes (``n/2k`` and ``log n / log k``)
-and the **deprecated** module-level metric entry points.
+reference values the paper quotes (``n/2k`` and ``log n / log k``).
 
-.. deprecated::
-    ``clustering_coefficient`` / ``characteristic_path_length`` /
-    ``smallworld_stats`` are one-cycle compatibility shims over
-    :class:`repro.metrics.analytics.AnalyticsEngine`, which unifies
-    every metrics call signature, avoids rebuilding the CSR per metric,
-    and adds the incremental (epoch-keyed delta) and parallel (sharded
-    BFS) lanes.  They delegate exactly -- same floats bit-for-bit
-    (``tests/test_analytics.py`` asserts the delegation) -- and will be
-    removed next cycle.  New code should use the engine:
+Measured graph metrics (clustering coefficient, characteristic path
+length, the combined small-world bundle) live on
+:class:`repro.metrics.analytics.AnalyticsEngine`, which builds the CSR
+once per harvest and supports the incremental and parallel lanes:
 
-    >>> from repro.metrics.analytics import AnalyticsEngine
-    >>> engine = AnalyticsEngine()
-    >>> engine.smallworld_stats(g)          # doctest: +SKIP
+>>> from repro.metrics.analytics import AnalyticsEngine
+>>> engine = AnalyticsEngine()
+>>> engine.smallworld_stats(g)          # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Optional
-
-import networkx as nx
 import numpy as np
 
-from ..obs.registry import Registry
-
 __all__ = [
-    "clustering_coefficient",
-    "characteristic_path_length",
     "regular_graph_pathlength",
     "random_graph_pathlength",
-    "smallworld_stats",
 ]
-
-
-def _engine(registry: Optional[Registry]):
-    # Lazy import: analytics imports the reference formulas below.
-    from .analytics import AnalyticsEngine
-
-    # Stateless full-recompute lane: the legacy functions never kept
-    # state between calls, and the shim must not start to.
-    return AnalyticsEngine(mode="full", registry=registry)
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"repro.metrics.smallworld.{name}() is deprecated; use "
-        f"repro.metrics.analytics.AnalyticsEngine.{name}() "
-        "(removal next cycle)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def clustering_coefficient(g: nx.Graph, *, registry: Optional[Registry] = None) -> float:
-    """Average clustering coefficient.
-
-    .. deprecated:: use :meth:`AnalyticsEngine.clustering_coefficient`.
-
-    For each node: ``real_conn / possible_conn`` over its neighbourhood
-    (exactly the paper's definition); nodes with < 2 neighbours
-    contribute 0.  Returns the average over all nodes, 0.0 for an empty
-    graph.
-    """
-    _deprecated("clustering_coefficient")
-    return _engine(registry).clustering_coefficient(g)
-
-
-def characteristic_path_length(
-    g: nx.Graph, *, registry: Optional[Registry] = None
-) -> float:
-    """Mean shortest-path length over all connected ordered pairs.
-
-    .. deprecated:: use :meth:`AnalyticsEngine.characteristic_path_length`.
-
-    Disconnected pairs are excluded (the overlay is often fragmented in
-    sparse scenarios); returns ``nan`` when no pair is connected.
-    """
-    _deprecated("characteristic_path_length")
-    return _engine(registry).characteristic_path_length(g)
 
 
 def regular_graph_pathlength(n: int, k: int) -> float:
@@ -100,16 +38,3 @@ def random_graph_pathlength(n: int, k: int) -> float:
     if n <= 1 or k <= 1:
         raise ValueError("need n > 1 and k > 1")
     return float(np.log(n) / np.log(k))
-
-
-def smallworld_stats(
-    g: nx.Graph, *, registry: Optional[Registry] = None
-) -> Dict[str, float]:
-    """Clustering + path length + the two reference values for this n,k.
-
-    .. deprecated:: use :meth:`AnalyticsEngine.smallworld_stats` (which
-       additionally builds the CSR once for both metrics and supports
-       epoch-keyed incremental harvests).
-    """
-    _deprecated("smallworld_stats")
-    return _engine(registry).smallworld_stats(g)

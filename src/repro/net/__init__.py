@@ -5,6 +5,18 @@ from .energy import EnergyModel
 from .packet import BROADCAST, DEFAULT_FRAME_BYTES, Frame
 from .radio import Channel, NetNode
 from .render import render_overlay_summary, render_world
+from .suppression import (
+    QUERY_POLICY_KINDS,
+    REBROADCAST_KINDS,
+    ContactPolicy,
+    CounterPolicy,
+    FloodPolicy,
+    PolicySpec,
+    ProbabilisticPolicy,
+    RebroadcastPolicy,
+    make_rebroadcast_policy,
+    parse_policy_spec,
+)
 from .topology import (
     TOPOLOGY_BACKENDS,
     DenseTopology,
@@ -25,6 +37,16 @@ __all__ = [
     "NetNode",
     "render_overlay_summary",
     "render_world",
+    "QUERY_POLICY_KINDS",
+    "REBROADCAST_KINDS",
+    "RebroadcastPolicy",
+    "FloodPolicy",
+    "ProbabilisticPolicy",
+    "CounterPolicy",
+    "ContactPolicy",
+    "PolicySpec",
+    "parse_policy_spec",
+    "make_rebroadcast_policy",
     "TOPOLOGY_BACKENDS",
     "TopologyBackend",
     "DenseTopology",

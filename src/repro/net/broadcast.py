@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from ..obs.registry import Registry
 from .packet import DEFAULT_FRAME_BYTES, Frame
 from .radio import Channel, NetNode
+from .suppression import RebroadcastPolicy
 
 __all__ = ["FloodMessage", "FloodManager"]
 
@@ -89,6 +90,11 @@ class FloodManager:
         ``plane=<kind>, node=<nid>``.  Defaults to the channel's
         registry, so a whole simulation's flood planes aggregate in one
         place.
+    policy:
+        Optional :class:`~repro.net.suppression.RebroadcastPolicy`
+        deciding whether/when a first copy is re-broadcast.  ``None``
+        (and any policy whose ``reference`` flag is set) keeps the
+        historical always-forward fast path, operation for operation.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class FloodManager:
         *,
         seen_limit: int = DEFAULT_SEEN_LIMIT,
         registry: Optional[Registry] = None,
+        policy: Optional[RebroadcastPolicy] = None,
     ) -> None:
         if seen_limit < 1:
             raise ValueError(f"seen_limit must be >= 1, got {seen_limit}")
@@ -111,8 +118,14 @@ class FloodManager:
         self.count_duplicate = count_duplicate
         self.seen_limit = int(seen_limit)
         self._seq = 0
+        self._inserts = 0
         # FIFO dedup cache: insertion-ordered ids, oldest evicted first.
         self._seen: "OrderedDict[FloodId, None]" = OrderedDict()
+        #: the configured policy (introspection); ``_policy`` is the hot
+        #: path view with reference policies folded to None so the flood
+        #: lane pays no indirection.
+        self.policy = policy
+        self._policy = None if policy is None or policy.reference else policy
         if registry is None:
             registry = getattr(channel, "registry", None)
         self.registry = registry if registry is not None else Registry()
@@ -121,6 +134,14 @@ class FloodManager:
         self._c_originated = self.registry.counter("flood.originated", **labels)
         self._c_forwarded = self.registry.counter("flood.forwarded", **labels)
         self._c_duplicates = self.registry.counter("flood.duplicates", **labels)
+        # Live cache-pressure views: fill fraction of the dedup cache and
+        # the fraction of remembered ids that have been evicted so far.
+        self.registry.gauge(
+            "flood.cache_occupancy", fn=self._occupancy, **labels
+        )
+        self.registry.gauge(
+            "flood.eviction_rate", fn=self._eviction_rate, **labels
+        )
         node.register(kind, self._on_frame)
 
     # ------------------------------------------------------------------
@@ -131,17 +152,34 @@ class FloodManager:
         """Dedup-cache evictions (deprecated view of ``flood.evictions``)."""
         return self._c_evictions.value
 
+    def _occupancy(self) -> float:
+        """Dedup-cache fill fraction (0..1 of ``seen_limit``)."""
+        return len(self._seen) / self.seen_limit
+
+    def _eviction_rate(self) -> float:
+        """Fraction of remembered flood ids evicted before they aged out."""
+        if self._inserts == 0:
+            return 0.0
+        return self._c_evictions.value / self._inserts
+
     def stats(self) -> Dict[str, float]:
         """Uniform counter snapshot (see the ``stats()`` protocol)."""
-        return {
+        out = {
             "evictions": self._c_evictions.value,
             "originated": self._c_originated.value,
             "forwarded": self._c_forwarded.value,
             "duplicates": self._c_duplicates.value,
             "cache_size": len(self._seen),
+            "cache_occupancy": self._occupancy(),
+            "eviction_rate": self._eviction_rate(),
         }
+        if self.policy is not None:
+            for k, v in self.policy.stats().items():
+                out[f"policy_{k}"] = v
+        return out
 
     def _remember(self, fid: FloodId) -> None:
+        self._inserts += 1
         self._seen[fid] = None
         if len(self._seen) > self.seen_limit:
             self._seen.popitem(last=False)
@@ -167,20 +205,28 @@ class FloodManager:
         return fid
 
     # ------------------------------------------------------------------
+    def _transmit(self, frame: Frame) -> None:
+        """Count and broadcast one (possibly policy-delayed) forward."""
+        self._c_forwarded.inc()
+        self.channel.broadcast(frame)
+
     def _on_frame(self, frame: Frame) -> None:
         msg: FloodMessage = frame.payload
         if msg.fid in self._seen:
             self._c_duplicates.inc()
+            if self._policy is not None:
+                self._policy.duplicate(msg.fid)
             if self.count_duplicate is not None:
                 self.count_duplicate(msg.origin, msg.payload)
             return
         self._remember(msg.fid)
         hops_here = msg.hops + 1
+        if self._policy is not None:
+            self._policy.overhear(msg.origin, hops_here)
         if self.deliver is not None:
             self.deliver(msg.origin, msg.payload, hops_here)
         remaining = msg.budget - 1
         if remaining > 0:
-            self._c_forwarded.inc()
             fwd = FloodMessage(
                 fid=msg.fid,
                 origin=msg.origin,
@@ -188,9 +234,13 @@ class FloodManager:
                 budget=remaining,
                 payload=msg.payload,
             )
-            self.channel.broadcast(
-                Frame(src=self.node.nid, dst=-1, kind=self.kind, payload=fwd, size=frame.size)
+            out = Frame(
+                src=self.node.nid, dst=-1, kind=self.kind, payload=fwd, size=frame.size
             )
+            if self._policy is None:
+                self._transmit(out)
+            else:
+                self._policy.forward(msg.fid, lambda: self._transmit(out))
 
     # ------------------------------------------------------------------
     def reset_cache(self) -> None:

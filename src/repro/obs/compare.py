@@ -30,6 +30,7 @@ from .registry import Registry
 __all__ = [
     "SCHEDULER_COST_METRICS",
     "TOPOLOGY_COST_METRICS",
+    "SUPPRESSION_COST_METRICS",
     "is_scheduler_cost_key",
     "is_cost_key",
     "semantic_snapshot",
@@ -72,6 +73,24 @@ TOPOLOGY_COST_METRICS: Tuple[str, ...] = (
     "topology.proof_gate",
 )
 
+#: Rebroadcast-suppression policy accounting
+#: (:mod:`repro.net.suppression`): how many transmissions a policy
+#: skipped, cancelled or contact-routed measures the *policy's* work,
+#: not the paper's semantics.  Classifying these as cost also keeps
+#: reference-equivalent lanes comparable: ``probabilistic:1.0``
+#: registers its (zero-valued) ``flood.suppressed`` counters while the
+#: plain ``flood`` lane registers none, and the semantic surface must
+#: not see that difference.  (``flood.originated`` / ``forwarded`` /
+#: ``duplicates`` stay semantic: suppression legitimately changes them
+#: and the equivalence suite must notice when it claims not to.)
+SUPPRESSION_COST_METRICS: Tuple[str, ...] = (
+    "flood.suppressed",
+    "flood.assessment_cancels",
+    "card.contact_hits",
+    "card.fallback_floods",
+    "card.contacts_learned",
+)
+
 #: Prefix covering the vectorized graph-kernel counters
 #: (:mod:`repro.metrics.graphfast`): kernel invocation counts measure
 #: which analytics implementation ran, never what the simulation did.
@@ -99,6 +118,7 @@ def is_cost_key(key: str) -> bool:
     return (
         name in SCHEDULER_COST_METRICS
         or name in TOPOLOGY_COST_METRICS
+        or name in SUPPRESSION_COST_METRICS
         or name.startswith(_GRAPHFAST_PREFIX)
         or name.startswith(_ANALYTICS_PREFIX)
     )

@@ -140,7 +140,7 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         channel = Channel(sim, world, batched=cfg.batched_delivery)
     router: Router
     if cfg.routing == "aodv":
-        router = AodvRouter(sim, channel)
+        router = AodvRouter(sim, channel, rebroadcast=cfg.rebroadcast, rng=rng)
     elif cfg.routing == "dsdv":
         router = DsdvRouter(sim, channel)
     elif cfg.routing == "dsr":
@@ -170,6 +170,8 @@ def build_scenario(cfg: ScenarioConfig) -> Simulation:
         rng=rng,
         count_received=metrics.count_received,
         lifetime_log=lifetimes,
+        rebroadcast=cfg.rebroadcast,
+        query_policy=cfg.query_policy,
     )
 
     # Top-level gauges: live views the sampler snapshots each interval.

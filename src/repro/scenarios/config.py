@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional
 
 from ..core.config import P2pConfig
 from ..core.query import QueryConfig
+from ..net.suppression import QUERY_POLICY_KINDS, parse_policy_spec
 
 __all__ = ["ScenarioConfig"]
 
@@ -118,6 +119,18 @@ class ScenarioConfig:
     #: (the same ``--processes`` semantics as ``sweep``, via
     #: :func:`repro.parallel.resolve_processes`)
     analytics_processes: Optional[int] = None
+    #: broadcast-plane rebroadcast policy (p2p discovery floods + AODV
+    #: RREQ dissemination): ``"flood"`` (reference, bit-identical to the
+    #: historical behaviour), ``"probabilistic[:p]"`` (gossip-p with a
+    #: degree-adaptive floor), ``"counter[:c]"`` (suppress after c
+    #: duplicate overhears within a random assessment delay) or
+    #: ``"contact"`` (flood + CARD contact harvesting).  See
+    #: :mod:`repro.net.suppression`.
+    rebroadcast: str = "flood"
+    #: query-plane policy: ``"flood"`` (reference Gnutella flood) or
+    #: ``"contact"`` (route to known holders first; scoped-flood
+    #: fallback after a miss)
+    query_policy: str = "flood"
 
     p2p: P2pConfig = field(default_factory=P2pConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
@@ -157,6 +170,12 @@ class ScenarioConfig:
             raise ValueError(f"unknown analytics execution lane {self.analytics_exec!r}")
         if self.analytics_mode not in _ANALYTICS_MODES:
             raise ValueError(f"unknown analytics mode {self.analytics_mode!r}")
+        parse_policy_spec(self.rebroadcast)  # raises on a bad spec
+        if self.query_policy not in QUERY_POLICY_KINDS:
+            raise ValueError(
+                f"unknown query policy {self.query_policy!r} "
+                f"(choose from {QUERY_POLICY_KINDS})"
+            )
         if self.analytics_processes is not None and self.analytics_processes < 1:
             raise ValueError(
                 f"analytics_processes must be >= 1, got {self.analytics_processes}"

@@ -4,11 +4,10 @@ The engine's whole value proposition is that its fast lanes are *free*
 semantically: ``incremental`` must equal ``full`` and ``parallel`` must
 equal ``serial`` exactly -- same integers, same floats bit-for-bit --
 over churning, moving, dying topologies.  These tests enforce that,
-plus the epoch-keyed cache contract, the deprecated-wrapper delegation
-and the ScenarioConfig/CLI lane plumbing.
+plus the epoch-keyed cache contract, the legacy-module surface (only
+the closed-form helpers remain) and the ScenarioConfig/CLI lane
+plumbing.
 """
-
-import warnings
 
 import networkx as nx
 import numpy as np
@@ -359,58 +358,28 @@ class TestParallelIdentity:
 
 
 # ----------------------------------------------------------------------
-# deprecated wrappers: warn once, delegate exactly
+# legacy modules: deprecation cycle elapsed, wrappers removed
 # ----------------------------------------------------------------------
-class TestDeprecatedWrappers:
-    def test_smallworld_wrappers_warn_and_match_engine(self):
-        g = _rgg(40, 15.0, seed=11)
-        eng = AnalyticsEngine()
+class TestLegacyModuleSurface:
+    def test_smallworld_keeps_only_closed_forms(self):
+        assert sorted(smallworld_mod.__all__) == [
+            "random_graph_pathlength",
+            "regular_graph_pathlength",
+        ]
         for name in (
             "clustering_coefficient",
             "characteristic_path_length",
             "smallworld_stats",
         ):
-            legacy = getattr(smallworld_mod, name)
-            with pytest.warns(DeprecationWarning, match=name):
-                got = legacy(g)
-            assert got == getattr(eng, name)(g)  # exact, floats included
+            assert not hasattr(smallworld_mod, name)
 
-    def test_connectivity_wrappers_warn_and_match_engine(self):
-        _, world, _ = make_world(line_positions(5, spacing=8.0) + [[500, 500]])
-        eng = engine_for_world(world)
-        with pytest.warns(DeprecationWarning, match="components"):
-            legacy_comps = connectivity_mod.components(world)
-        engine_comps = eng.components(world)
-        assert len(legacy_comps) == len(engine_comps)
-        for a, b in zip(legacy_comps, engine_comps):
-            assert np.array_equal(a, b)
-        with pytest.warns(DeprecationWarning, match="connectivity_stats"):
-            legacy_stats = connectivity_mod.connectivity_stats(world)
-        assert legacy_stats == eng.connectivity_stats(world)
-        with pytest.warns(DeprecationWarning, match="reachable_pair_fraction"):
-            legacy_rpf = connectivity_mod.reachable_pair_fraction(world)
-        assert legacy_rpf == eng.reachable_pair_fraction(world)
-
-    def test_wrapper_delegates_to_engine_method(self, monkeypatch):
-        """The shim must call the engine method -- not a private copy."""
-        sentinel = {"n": -1.0}
-        calls = []
-
-        def fake(self, g, *, key=None, epoch=None):
-            calls.append(g)
-            return sentinel
-
-        monkeypatch.setattr(AnalyticsEngine, "smallworld_stats", fake)
-        g = nx.path_graph(4)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert smallworld_mod.smallworld_stats(g) is sentinel
-        assert calls == [g]
-
-    def test_expected_mean_degree_not_deprecated(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            connectivity_mod.expected_mean_degree(50, 100.0, 100.0, 10.0)
+    def test_connectivity_keeps_only_closed_form(self):
+        assert connectivity_mod.__all__ == ["expected_mean_degree"]
+        for name in ("components", "connectivity_stats", "reachable_pair_fraction"):
+            assert not hasattr(connectivity_mod, name)
+        assert connectivity_mod.expected_mean_degree(
+            50, 100.0, 100.0, 10.0
+        ) == pytest.approx(49 * np.pi / 100.0)
 
 
 # ----------------------------------------------------------------------

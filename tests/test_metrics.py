@@ -8,16 +8,30 @@ from hypothesis import strategies as st
 
 from repro.core.query import QueryRecord
 from repro.metrics import (
+    AnalyticsEngine,
     MetricsCollector,
-    characteristic_path_length,
-    clustering_coefficient,
     mean_ci,
     per_file_stats,
     random_graph_pathlength,
     regular_graph_pathlength,
-    smallworld_stats,
     sorted_curve_mean,
 )
+
+# Stateless full-recompute lane: these tests feed fresh networkx graphs,
+# so epoch-keyed incremental caching has nothing to key on.
+_engine = AnalyticsEngine(mode="full")
+
+
+def clustering_coefficient(g):
+    return _engine.clustering_coefficient(g)
+
+
+def characteristic_path_length(g):
+    return _engine.characteristic_path_length(g)
+
+
+def smallworld_stats(g):
+    return _engine.smallworld_stats(g)
 
 
 class TestCollector:

@@ -5,14 +5,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import (
-    components,
-    connectivity_stats,
-    expected_mean_degree,
-    reachable_pair_fraction,
-)
+from repro.metrics import expected_mean_degree
+from repro.metrics.analytics import engine_for_world
 
 from .helpers import line_positions, make_world
+
+
+def components(world):
+    return engine_for_world(world).components(world)
+
+
+def connectivity_stats(world):
+    return engine_for_world(world).connectivity_stats(world)
+
+
+def reachable_pair_fraction(world):
+    return engine_for_world(world).reachable_pair_fraction(world)
 
 
 class TestComponents:

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import characteristic_path_length, clustering_coefficient
+from repro.metrics import AnalyticsEngine
 from repro.theory import (
     lattice_clustering,
     lattice_pathlength,
@@ -20,6 +20,17 @@ from repro.theory import (
     watts_strogatz,
     ws_rewire,
 )
+
+# Stateless full-recompute lane over throwaway networkx graphs.
+_engine = AnalyticsEngine(mode="full")
+
+
+def clustering_coefficient(g):
+    return _engine.clustering_coefficient(g)
+
+
+def characteristic_path_length(g):
+    return _engine.characteristic_path_length(g)
 
 
 class TestRingLattice:
