@@ -1,6 +1,6 @@
 """Substrate performance suite: the repo's recorded perf trajectory.
 
-Nine workload families time the hot paths the fast lanes optimize (see
+Ten workload families time the hot paths the fast lanes optimize (see
 docs/PERFORMANCE.md):
 
 * **kernel_throughput** -- raw event dispatch rate (events/sec) of the
@@ -45,7 +45,16 @@ docs/PERFORMANCE.md):
   from the small size to the large one (target: flat, <= 1.3x from
   n = 600 to n = 10 000), plus the parallel BFS lane's speedup on the
   characteristic path length and exact harvest/CPL equality between
-  the incremental+parallel and full+serial lanes over several seeds.
+  the incremental+parallel and full+serial lanes over several seeds;
+* **experiment_plane** -- the experiment orchestrator
+  (:class:`~repro.experiments.executor.ExperimentExecutor` +
+  :class:`~repro.experiments.cache.RunCache`) driving a figure ladder
+  once per suppression policy (the ablation ladder's first rung): per
+  policy a *cold* cached pass, a *warm* pass over the same archive and
+  a *parallel* uncached pass each reproduce figures 5/7/9/11, with the
+  cross-figure dedup ratio, the warm hit rate, the cold/warm and
+  cold/parallel wall ratios, and blake2b digests proving all three
+  lanes emit byte-identical figure JSON.
 
 Timing convention: every workload runs ``repeats`` times and records the
 **minimum** wall clock as ``wall_seconds`` plus the spread
@@ -64,14 +73,20 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import platform
 import sys
+import tempfile
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
+from repro.experiments.cache import RunCache
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.export import figure_result_to_json
+from repro.experiments.figures import figure_configs, run_figure
 from repro.metrics.analytics import AnalyticsEngine
 from repro.metrics.graphfast import (
     average_clustering,
@@ -110,6 +125,9 @@ __all__ = [
     "compare_metrics_kernels",
     "bench_analytics_plane",
     "compare_analytics_plane",
+    "bench_experiment_plane",
+    "compare_experiment_plane",
+    "EXPERIMENT_PLANE_FIGURES",
     "run_suite",
     "validate_bench_dict",
 ]
@@ -1182,6 +1200,178 @@ def compare_analytics_plane(
     }
 
 
+#: Figure ladder of the experiment_plane family: 5/7/9/11 share their
+#: underlying runs (one batch, different harvests), so the family also
+#: records the cross-figure dedup ratio the orchestrator unlocks.
+EXPERIMENT_PLANE_FIGURES = ("fig5", "fig7", "fig9", "fig11")
+EXPERIMENT_PLANE_DURATION = 25.0
+EXPERIMENT_PLANE_REPS = 2
+
+
+def _ablation_overrides(policy: str) -> Dict[str, str]:
+    """Config overrides for one suppression-ablation rung.
+
+    ``contact`` rides with contact-routed queries (the policy's point);
+    every other rebroadcast policy keeps the reference query flood.
+    """
+    return {
+        "rebroadcast": policy,
+        "query_policy": "contact" if policy == "contact" else "flood",
+    }
+
+
+def _experiment_pass(
+    figures: Sequence[str],
+    duration: float,
+    reps: int,
+    seed: int,
+    overrides: Dict[str, str],
+    executor: ExperimentExecutor,
+) -> Tuple[str, int]:
+    """One orchestrated evaluation: prefetch batch, then harvest.
+
+    Mirrors :func:`repro.experiments.reproduce.reproduce_all` exactly --
+    plan every figure's configs as one deduplicated batch, then let each
+    figure harvest from the memo.  Returns (blake2b of the concatenated
+    figure JSON, number of runs requested).
+    """
+    batch = [
+        c
+        for fid in figures
+        for c in figure_configs(
+            fid, duration=duration, reps=reps, seed=seed, overrides=overrides
+        )
+    ]
+    executor.run_configs(batch)
+    digest = hashlib.blake2b(digest_size=16)
+    for fid in figures:
+        result = run_figure(
+            fid,
+            duration=duration,
+            reps=reps,
+            seed=seed,
+            overrides=overrides,
+            executor=executor,
+        )
+        digest.update(figure_result_to_json(result).encode())
+    return digest.hexdigest(), len(batch)
+
+
+def bench_experiment_plane(
+    figures: Sequence[str] = EXPERIMENT_PLANE_FIGURES,
+    *,
+    policy: str = "flood",
+    lane: str = "cold",
+    duration: float = EXPERIMENT_PLANE_DURATION,
+    reps: int = EXPERIMENT_PLANE_REPS,
+    seed: int = 0,
+    processes: Optional[int] = None,
+    cache: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One orchestrated figure-ladder pass on one executor lane.
+
+    ``lane`` is a label (``cold`` / ``warm`` / ``parallel`` / ``serial``)
+    -- the actual behaviour comes from ``cache`` (archive path) and
+    ``processes``; a second pass over the same archive *is* the warm
+    lane.  The figure-JSON digest lands in ``params`` so lanes can be
+    checked for byte-identical output.
+    """
+    registry = Registry()
+    executor = ExperimentExecutor(
+        processes=processes,
+        cache=RunCache(cache, registry=registry) if cache else None,
+        registry=registry,
+    )
+    t0 = perf_counter()
+    digest, requested = _experiment_pass(
+        figures, duration, reps, seed, _ablation_overrides(policy), executor
+    )
+    wall = perf_counter() - t0
+    stats = executor.stats()
+    return {
+        "name": "experiment_plane",
+        "params": {
+            "figures": "+".join(figures),
+            "duration": duration,
+            "reps": reps,
+            "seed": seed,
+            "policy": policy,
+            "lane": lane,
+            "processes": 0 if processes is None else int(processes),
+            "digest": digest,
+        },
+        **_spread([wall]),
+        "runs_requested": requested,
+        "jobs_executed": stats["jobs_executed"],
+        "jobs_deduped": stats["jobs_deduped"],
+        "cache_hits": stats.get("cache_hits", 0.0),
+        "cache_misses": stats.get("cache_misses", 0.0),
+    }
+
+
+def compare_experiment_plane(
+    figures: Sequence[str] = EXPERIMENT_PLANE_FIGURES,
+    *,
+    policy: str = "flood",
+    duration: float = EXPERIMENT_PLANE_DURATION,
+    reps: int = EXPERIMENT_PLANE_REPS,
+    seed: int = 0,
+    processes: int = 0,
+) -> Dict[str, Any]:
+    """Cold vs warm vs parallel orchestration of one ablation rung.
+
+    * ``speedup`` -- cold wall over warm wall (the headline: a warm
+      re-reproduce must be an order of magnitude cheaper than the cold
+      evaluation it replays);
+    * ``speedup_parallel`` -- cold wall over the uncached parallel
+      lane's wall;
+    * ``dedup_ratio`` -- runs requested over runs executed on the cold
+      lane (figures 5/7/9/11 share their runs, so this is ~4x on the
+      default ladder);
+    * ``hit_rate`` -- warm-lane cache hits over lookups (1.0 when the
+      archive replays the entire evaluation);
+    * ``semantically_identical`` -- the three lanes' concatenated
+      figure JSON digests match byte-for-byte.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench_runcache_") as tmp:
+        archive = os.path.join(tmp, "runs.ndjson")
+        kw = dict(
+            policy=policy, duration=duration, reps=reps, seed=seed
+        )
+        cold = bench_experiment_plane(figures, lane="cold", cache=archive, **kw)
+        warm = bench_experiment_plane(figures, lane="warm", cache=archive, **kw)
+    parallel = bench_experiment_plane(
+        figures, lane="parallel", processes=processes, **kw
+    )
+    wall_cold = cold["wall_seconds"]
+    wall_warm = warm["wall_seconds"]
+    wall_par = parallel["wall_seconds"]
+    lookups = warm["cache_hits"] + warm["cache_misses"]
+    return {
+        "name": "experiment_plane",
+        "n": int(cold["runs_requested"]),
+        "policy": policy,
+        "cold": cold,
+        "warm": warm,
+        "parallel": parallel,
+        "speedup": wall_cold / wall_warm if wall_warm > 0 else float("inf"),
+        "speedup_parallel": (
+            wall_cold / wall_par if wall_par > 0 else float("inf")
+        ),
+        "dedup_ratio": (
+            cold["runs_requested"] / cold["jobs_executed"]
+            if cold["jobs_executed"]
+            else float("inf")
+        ),
+        "hit_rate": warm["cache_hits"] / lookups if lookups else 0.0,
+        "semantically_identical": bool(
+            cold["params"]["digest"]
+            == warm["params"]["digest"]
+            == parallel["params"]["digest"]
+        ),
+    }
+
+
 # ----------------------------------------------------------------------
 # the suite
 # ----------------------------------------------------------------------
@@ -1363,6 +1553,32 @@ def run_suite(
     for lane_key in ("incremental_small", "full_small", "incremental", "full"):
         results.append(cmp_.pop(lane_key))
     comparisons.append(cmp_)
+
+    # experiment_plane: the ablation ladder's first rung -- one
+    # orchestrated figure pass per suppression policy, three lanes each.
+    if quick:
+        xp_figures = ("fig5", "fig7")
+        xp_duration, xp_reps = 10.0, 1
+        xp_policies = ("flood", "counter:2")
+    else:
+        xp_figures = EXPERIMENT_PLANE_FIGURES
+        xp_duration, xp_reps = EXPERIMENT_PLANE_DURATION, EXPERIMENT_PLANE_REPS
+        xp_policies = QUERY_PLANE_POLICIES
+    for policy in xp_policies:
+        say(
+            f"experiment_plane: {'+'.join(xp_figures)} policy={policy} "
+            f"(cold/warm/parallel lanes)"
+        )
+        cmp_ = compare_experiment_plane(
+            xp_figures,
+            policy=policy,
+            duration=xp_duration,
+            reps=xp_reps,
+            processes=0,
+        )
+        for lane_key in ("cold", "warm", "parallel"):
+            results.append(cmp_.pop(lane_key))
+        comparisons.append(cmp_)
 
     doc = {
         "schema_version": BENCH_SCHEMA_VERSION,

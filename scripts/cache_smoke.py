@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI smoke for the experiment-orchestration plane.
+
+Three gates, all hard failures:
+
+1. **Warm-cache replay** -- a second ``reproduce_all`` pass over the
+   archive the first pass wrote must serve >= 90 % of its run lookups
+   from the cache (on a complete archive it is 100 %);
+2. **Byte identity (cached lane)** -- every figure artifact
+   (``.json`` / ``.csv``) of the warm pass must equal the cold pass's
+   byte-for-byte;
+3. **Byte identity (parallel lane)** -- ``run_figure`` through a
+   multi-process executor must emit figure JSON byte-equal to the plain
+   serial loop, over several seeds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cache_smoke.py [--duration 30] [--reps 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import (  # noqa: E402
+    ExperimentExecutor,
+    RunCache,
+    reproduce_all,
+    run_figure,
+)
+from repro.experiments.export import figure_result_to_json  # noqa: E402
+from repro.obs.registry import Registry  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--figures", nargs="*", default=["fig5", "fig7"])
+    ap.add_argument("--duration", type=float, default=30.0)
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument(
+        "--seeds", type=int, nargs="*", default=[1, 2, 3],
+        help="seeds for the serial-vs-parallel equivalence gate",
+    )
+    ap.add_argument("--min-hit-rate", type=float, default=0.9)
+    args = ap.parse_args(argv)
+    failures = []
+
+    tmp = tempfile.mkdtemp(prefix="cache_smoke_")
+    archive = os.path.join(tmp, "runs.ndjson")
+    out_cold = os.path.join(tmp, "cold")
+    out_warm = os.path.join(tmp, "warm")
+    settings = dict(figures=args.figures, duration=args.duration, reps=args.reps)
+
+    reproduce_all(
+        out_cold,
+        executor=ExperimentExecutor(
+            cache=RunCache(archive, registry=Registry()), registry=Registry()
+        ),
+        **settings,
+    )
+    warm_ex = ExperimentExecutor(
+        cache=RunCache(archive, registry=Registry()), registry=Registry()
+    )
+    reproduce_all(out_warm, executor=warm_ex, **settings)
+
+    stats = warm_ex.stats()
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    hit_rate = stats["cache_hits"] / lookups if lookups else 0.0
+    print(
+        f"warm pass: {stats['cache_hits']:g} hits / {lookups:g} lookups "
+        f"(hit rate {hit_rate:.2f}), {stats['jobs_executed']:g} executed"
+    )
+    if hit_rate < args.min_hit_rate:
+        failures.append(
+            f"warm hit rate {hit_rate:.2f} below {args.min_hit_rate:.2f}"
+        )
+
+    for fid in args.figures:
+        for ext in ("json", "csv"):
+            name = f"{fid}.{ext}"
+            a = open(os.path.join(out_cold, name)).read()
+            b = open(os.path.join(out_warm, name)).read()
+            if a != b:
+                failures.append(f"warm {name} differs from cold pass")
+            else:
+                print(f"cold == warm: {name} ({len(a)} bytes)")
+
+    for seed in args.seeds:
+        serial = run_figure(
+            "fig7", duration=args.duration, reps=max(args.reps, 2), seed=seed
+        )
+        parallel = run_figure(
+            "fig7",
+            duration=args.duration,
+            reps=max(args.reps, 2),
+            seed=seed,
+            executor=ExperimentExecutor(processes=2, registry=Registry()),
+        )
+        if figure_result_to_json(serial) != figure_result_to_json(parallel):
+            failures.append(f"parallel fig7 JSON differs from serial at seed {seed}")
+        else:
+            print(f"serial == parallel: fig7 seed {seed}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("cache smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,34 @@ def main() -> None:
     w("about *shape*: orderings, skews and decays the paper states in §7.4.")
     w("The settings used for this file are printed per figure.")
     w("")
+    w("## Orchestration — cache key contract and resume semantics")
+    w("")
+    w("Every evaluation (`p2p-manet reproduce`, `run_figure`, `run_sweep`,")
+    w("the benches) plans its runs through one engine,")
+    w("`repro.experiments.executor.ExperimentExecutor`: the requested")
+    w("(config, seed) jobs are flattened into a deduplicated unit-of-work")
+    w("list -- figures 5/7/9/11 build *identical* scenarios and only differ")
+    w("in what they harvest (as do 6/8/10/12), so one `reproduce` pass runs")
+    w("each underlying simulation exactly once -- and the remainder executes")
+    w("serially or on a process pool, byte-identically either way.")
+    w("")
+    w("With a cache attached (`--cache PATH` or `--resume`), completed runs")
+    w("are memoized in an append-only ndjson archive under the content")
+    w("address `v<run-schema-version>:<config-sha256>:<seed>`, where the")
+    w("sha256 is over the canonical (sorted-keys) JSON codec of the complete")
+    w("`ScenarioConfig` -- the same hash the run manifest records.  The key")
+    w("covers *every* config field, so changing any knob (node count, policy")
+    w("spec, queue lane, ...) is a cache miss by construction, and bumping")
+    w("the run-schema version invalidates every old entry without touching")
+    w("the archive.  Re-running after an interruption replays the completed")
+    w("runs as O(1) lookups and executes only what is missing; a final line")
+    w("truncated by a killed writer is skipped (and counted on")
+    w("`storage.corrupt_lines`) instead of poisoning the archive.  A warm")
+    w("re-`reproduce` is therefore nearly free and emits byte-identical")
+    w("figure artifacts -- `scripts/cache_smoke.py` gates exactly that in")
+    w("CI, and the `experiment_plane` family in `BENCH_substrate.json`")
+    w("records the cold/warm/parallel walls per suppression policy.")
+    w("")
 
     # ---- tables -------------------------------------------------------
     w("## Table 1 — topology taxonomy")

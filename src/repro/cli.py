@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .experiments import (
@@ -46,6 +47,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         reps=args.reps,
         seed=args.seed,
         routing=args.routing,
+        overrides={
+            "rebroadcast": args.rebroadcast,
+            "query_policy": args.query_policy,
+        },
     )
     if args.json:
         print(figure_result_to_json(result))
@@ -105,12 +110,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from .experiments import ResultStore
 
         store = ResultStore(args.store)
+    cache = args.cache
+    if cache is None and args.resume:
+        if not args.store:
+            print("--resume needs --cache or --store", file=sys.stderr)
+            return 2
+        cache = args.store + ".runs.ndjson"
     points = run_sweep(
         base,
         [SweepSpec(fieldname, values)],
         reps=args.reps,
         processes=args.processes,
         store=store,
+        cache=cache,
     )
     if args.json:
         print(json.dumps([p.to_dict() for p in points], indent=2))
@@ -141,6 +153,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments import reproduce_all
 
+    cache = args.cache
+    if cache is None and args.resume:
+        # Default resume archive lives next to the artifacts.
+        os.makedirs(args.out, exist_ok=True)
+        cache = os.path.join(args.out, "runs.ndjson")
     reproduce_all(
         args.out,
         figures=args.figures,
@@ -148,6 +165,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         reps=args.reps,
         seed=args.seed,
         progress=print,
+        processes=args.processes,
+        cache=cache,
     )
     print(f"artifacts written to {args.out}/")
     return 0
@@ -332,6 +351,24 @@ def _add_policy_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_args(parser: argparse.ArgumentParser, default_hint: str) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="content-addressed RunCache archive (ndjson): completed runs "
+        "are memoized there and any run requested again -- same config "
+        "and seed, byte-identical results -- is an O(1) lookup instead "
+        "of a simulation",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"shorthand for --cache {default_hint}: re-running after an "
+        "interruption picks up where it died",
+    )
+
+
 def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology",
@@ -377,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--compare", action="store_true", help="compare against the paper's claims"
     )
+    _add_policy_args(fig)
     fig.set_defaults(func=_cmd_figure)
 
     world = sub.add_parser("map", help="render the world + overlay as ASCII")
@@ -439,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--store", default=None, help="append point results to this ResultStore"
     )
+    _add_cache_args(sweep, "<store>.runs.ndjson")
     sweep.set_defaults(func=_cmd_sweep)
 
     stats = sub.add_parser(
@@ -464,6 +503,8 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--duration", type=float, default=None, help="override seconds/run")
     rep.add_argument("--reps", type=int, default=None, help="override repetitions")
     rep.add_argument("--seed", type=int, default=0)
+    _add_processes_arg(rep, "the deduplicated run batch")
+    _add_cache_args(rep, "<out>/runs.ndjson")
     rep.set_defaults(func=_cmd_reproduce)
     return parser
 

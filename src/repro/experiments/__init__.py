@@ -1,9 +1,12 @@
 """Per-table/figure experiment definitions and text reporting."""
 
+from .cache import RunCache, run_key
+from .executor import ExperimentExecutor
 from .figures import (
     ALGORITHM_ORDER,
     FIGURES,
     FigureResult,
+    figure_configs,
     run_distance_answers_figure,
     run_figure,
     run_message_curve_figure,
@@ -26,6 +29,10 @@ from .validation import ks_curve_test, means_differ, ordering_stability
 from .tables import TOPOLOGIES, TopologyTraits, table1_rows, table2_rows
 
 __all__ = [
+    "RunCache",
+    "run_key",
+    "ExperimentExecutor",
+    "figure_configs",
     "figure_result_to_csv",
     "figure_result_to_dict",
     "figure_result_to_json",

@@ -1,0 +1,169 @@
+"""Experiment orchestration: dedup, cache, and fan runs out on a pool.
+
+Every consumer of simulation runs -- :func:`~repro.experiments.reproduce.reproduce_all`,
+:func:`~repro.experiments.figures.run_figure`,
+:func:`~repro.experiments.sweeps.run_sweep`, the benches -- used to
+execute its own loop of :func:`~repro.scenarios.runner.run_scenario`
+calls: figures ran serially, sweeps parallelized only at grid-point
+granularity with repetitions nested serially inside one worker, and a
+run requested by two figures executed twice.  The
+:class:`ExperimentExecutor` is the one engine behind all of them:
+
+* a batch of requested :class:`~repro.scenarios.config.ScenarioConfig`\\ s
+  is flattened into a **deduplicated unit-of-work list** keyed on the
+  content address of :func:`~repro.experiments.cache.run_key` --
+  identical (config, seed) jobs requested by different figures run
+  once (``experiments.jobs_deduped``);
+* unseen jobs consult the optional :class:`~repro.experiments.cache.RunCache`
+  (``experiments.cache_hits`` / ``cache_misses``);
+* the remainder executes serially or on a shared
+  ``ProcessPoolExecutor`` sized by
+  :func:`repro.parallel.resolve_processes` and chunked by
+  :func:`repro.parallel.default_chunksize`, streaming completions back
+  **in deterministic submission order** with cache write-back from the
+  coordinating process only (workers never touch the store);
+* results return in request order, so serial, parallel and cached
+  executions are byte-identical downstream.
+
+Simulations are deterministic functions of their config, so none of
+this changes any result -- it only changes how many times each result
+is computed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.registry import Registry, default_registry
+from ..parallel import default_chunksize, resolve_processes
+from ..scenarios.config import ScenarioConfig
+from ..scenarios.runner import RunResult, run_scenario
+from .cache import RunCache, run_key
+
+__all__ = ["ExperimentExecutor", "execute_config"]
+
+
+def execute_config(config: ScenarioConfig) -> RunResult:
+    """One unit of work (module-level so worker processes can pickle it)."""
+    return run_scenario(config)
+
+
+class ExperimentExecutor:
+    """Deduplicating, cache-aware runner for batches of scenario configs.
+
+    Parameters
+    ----------
+    processes:
+        ``None`` or ``1`` executes in-process (the reference lane);
+        values > 1 fan jobs out over that many worker processes.
+        ``0`` means "every core" (:func:`~repro.parallel.resolve_processes`).
+    chunksize:
+        Jobs shipped per worker round trip when a pool is used
+        (default: :func:`~repro.parallel.default_chunksize`).
+    cache:
+        Optional :class:`RunCache` (or a store path) consulted before
+        executing and written back after -- always from this process.
+    registry:
+        Metrics registry for the orchestration counters (default: the
+        process-wide registry; a cache created from a path shares it).
+    """
+
+    def __init__(
+        self,
+        *,
+        processes: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        if processes is not None and processes < 0:
+            raise ValueError(f"processes must be >= 0, got {processes}")
+        self.processes = (
+            resolve_processes(None) if processes == 0 else (processes or 1)
+        )
+        if self.processes > 1 and chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+        self._registry = registry if registry is not None else default_registry()
+        if cache is not None and not isinstance(cache, RunCache):
+            cache = RunCache(cache, registry=self._registry)
+        self.cache = cache
+        self.deduped = self._registry.counter("experiments.jobs_deduped")
+        self.executed = self._registry.counter("experiments.jobs_executed")
+        #: key -> completed result, shared across batches (figures that
+        #: re-request a prefetched run hit this before the cache)
+        self._memo: Dict[str, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Orchestration counters (cache counters when a cache rides along)."""
+        out = {
+            "jobs_deduped": float(self.deduped.value),
+            "jobs_executed": float(self.executed.value),
+        }
+        if self.cache is not None:
+            out["cache_hits"] = float(self.cache.hits.value)
+            out["cache_misses"] = float(self.cache.misses.value)
+        return out
+
+    def _execute(self, configs: Sequence[ScenarioConfig]) -> List[RunResult]:
+        """Run ``configs`` (already unique and uncached) in order."""
+        if not configs:
+            return []
+        if self.processes > 1 and len(configs) > 1:
+            chunksize = self.chunksize
+            if chunksize is None:
+                chunksize = default_chunksize(len(configs), self.processes)
+            with ProcessPoolExecutor(max_workers=self.processes) as pool:
+                stream = pool.map(execute_config, configs, chunksize=chunksize)
+                return self._collect(configs, stream)
+        return self._collect(configs, map(execute_config, configs))
+
+    def _collect(self, configs, stream) -> List[RunResult]:
+        """Drain completions in submission order, writing back as they land."""
+        results: List[RunResult] = []
+        if self.cache is not None:
+            with self.cache.store.batch():
+                for config, result in zip(configs, stream):
+                    self.cache.put(config, result)
+                    self.executed.inc()
+                    results.append(result)
+        else:
+            for result in stream:
+                self.executed.inc()
+                results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def run_configs(self, configs: Sequence[ScenarioConfig]) -> List[RunResult]:
+        """Results for ``configs``, in request order.
+
+        Plans the batch as unique jobs (first-request order), satisfies
+        what it can from the in-memory memo and the cache, executes the
+        rest, and maps results back onto the request list.
+        """
+        keys = [run_key(c) for c in configs]
+        unique: Dict[str, ScenarioConfig] = {}
+        for key, config in zip(keys, configs):
+            if key in unique:
+                self.deduped.inc()
+            else:
+                unique[key] = config
+        todo: List[ScenarioConfig] = []
+        for key, config in unique.items():
+            if key in self._memo:
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(config)
+                if cached is not None:
+                    self._memo[key] = cached
+                    continue
+            todo.append(config)
+        for config, result in zip(todo, self._execute(todo)):
+            self._memo[run_key(config)] = result
+        return [self._memo[key] for key in keys]
+
+    def run_config(self, config: ScenarioConfig) -> RunResult:
+        """Single-config convenience over :meth:`run_configs`."""
+        return self.run_configs([config])[0]

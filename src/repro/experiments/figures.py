@@ -20,7 +20,7 @@ Figure index (paper §7.4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from ..scenarios.runner import RunResult, run_repetitions
 __all__ = [
     "ALGORITHM_ORDER",
     "FigureResult",
+    "figure_configs",
     "run_distance_answers_figure",
     "run_message_curve_figure",
     "FIGURES",
@@ -89,6 +90,59 @@ def _base_config(num_nodes: int, duration: float, seed: int, routing: str) -> Sc
     )
 
 
+def _alg_config(
+    num_nodes: int,
+    duration: float,
+    seed: int,
+    routing: str,
+    alg: str,
+    overrides: Optional[Dict[str, Any]],
+) -> ScenarioConfig:
+    cfg = _base_config(num_nodes, duration, seed, routing).with_(algorithm=alg)
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    return cfg
+
+
+def figure_configs(
+    exp_id: str,
+    *,
+    duration: float = 3600.0,
+    reps: int = 33,
+    seed: int = 0,
+    routing: str = "aodv",
+    overrides: Optional[Dict[str, Any]] = None,
+    **_ignored: Any,
+) -> List[ScenarioConfig]:
+    """Every run a figure needs, as configs (algorithm x repetition).
+
+    This is the planning surface of the experiment executor: callers
+    flatten the config lists of several figures into one batch, the
+    executor deduplicates them by content address (figures 5/7/9/11
+    share identical runs), and :func:`run_figure` then harvests each
+    figure from the memoized results.  Extra keyword arguments that
+    only affect harvesting (``top_files``) are accepted and ignored so
+    one settings dict can drive both planning and harvest.
+    """
+    if exp_id not in _FIG_NODES:
+        raise ValueError(f"unknown figure {exp_id!r}; choose from {sorted(_FIG_NODES)}")
+    nodes = _FIG_NODES[exp_id]
+    return [
+        _alg_config(nodes, duration, seed, routing, alg, overrides).for_repetition(r)
+        for alg in ALGORITHM_ORDER
+        for r in range(reps)
+    ]
+
+
+def _runs_for(
+    cfg: ScenarioConfig, reps: int, executor
+) -> Sequence[RunResult]:
+    """The figure's repetitions: direct loop, or through an executor."""
+    if executor is None:
+        return run_repetitions(cfg, reps)
+    return executor.run_configs([cfg.for_repetition(r) for r in range(reps)])
+
+
 def run_distance_answers_figure(
     exp_id: str,
     num_nodes: int,
@@ -98,6 +152,8 @@ def run_distance_answers_figure(
     seed: int = 0,
     routing: str = "aodv",
     top_files: int = 10,
+    overrides: Optional[Dict[str, Any]] = None,
+    executor=None,
 ) -> FigureResult:
     """Figures 5/6: distance-to-file and answers-per-request by rank."""
     result = FigureResult(
@@ -108,8 +164,8 @@ def run_distance_answers_figure(
         reps=reps,
     )
     for alg in ALGORITHM_ORDER:
-        cfg = _base_config(num_nodes, duration, seed, routing).with_(algorithm=alg)
-        runs = run_repetitions(cfg, reps)
+        cfg = _alg_config(num_nodes, duration, seed, routing, alg, overrides)
+        runs = _runs_for(cfg, reps, executor)
         dist = mean_ci([r.distance_series()[:top_files] for r in runs])["mean"]
         answers = mean_ci([r.answers_series()[:top_files] for r in runs])["mean"]
         result.series[alg] = {"distance": dist, "answers": answers}
@@ -126,6 +182,8 @@ def run_message_curve_figure(
     reps: int = 33,
     seed: int = 0,
     routing: str = "aodv",
+    overrides: Optional[Dict[str, Any]] = None,
+    executor=None,
 ) -> FigureResult:
     """Figures 7-12: per-node received-message curves, sorted decreasing."""
     result = FigureResult(
@@ -137,8 +195,8 @@ def run_message_curve_figure(
         family=family,
     )
     for alg in ALGORITHM_ORDER:
-        cfg = _base_config(num_nodes, duration, seed, routing).with_(algorithm=alg)
-        runs = run_repetitions(cfg, reps)
+        cfg = _alg_config(num_nodes, duration, seed, routing, alg, overrides)
+        runs = _runs_for(cfg, reps, executor)
         curve = sorted_curve_mean([r.sorted_received[family] for r in runs])
         result.series[alg] = {"curve": curve}
         result.totals[alg] = float(np.mean([r.totals[family] for r in runs]))
@@ -146,7 +204,13 @@ def run_message_curve_figure(
 
 
 def run_figure(exp_id: str, **kwargs) -> FigureResult:
-    """Run any paper figure by id (``fig5`` ... ``fig12``)."""
+    """Run any paper figure by id (``fig5`` ... ``fig12``).
+
+    ``overrides`` (extra ScenarioConfig fields, e.g. a rebroadcast
+    policy for the suppression-ablation ladder) and ``executor`` (an
+    :class:`~repro.experiments.executor.ExperimentExecutor` providing
+    dedup / cache / parallelism) pass through to the figure runners.
+    """
     if exp_id not in _FIG_NODES:
         raise ValueError(f"unknown figure {exp_id!r}; choose from {sorted(_FIG_NODES)}")
     nodes = _FIG_NODES[exp_id]

@@ -12,8 +12,10 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from ..obs.registry import Registry, default_registry
 from ..obs.schema import validate_run_dict
 from ..scenarios.runner import RunResult
 from .export import figure_result_to_dict, run_result_to_dict
@@ -30,10 +32,17 @@ class ResultStore:
     path:
         The ndjson file (created on first append; parent directory must
         exist).
+    registry:
+        Metrics registry for the ``storage.corrupt_lines`` counter
+        (default: the process-wide :func:`~repro.obs.registry.default_registry`).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, registry: Optional[Registry] = None) -> None:
         self.path = str(path)
+        self._registry = registry if registry is not None else default_registry()
+        self._corrupt_lines = self._registry.counter("storage.corrupt_lines")
+        #: open append handle while inside :meth:`batch`, else None
+        self._batch_fh = None
 
     # ------------------------------------------------------------------
     # writing
@@ -52,9 +61,30 @@ class ResultStore:
             "payload": payload,
         }
         line = json.dumps(record)
-        with open(self.path, "a") as fh:
-            fh.write(line + "\n")
+        if self._batch_fh is not None:
+            self._batch_fh.write(line + "\n")
+        else:
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
         return record
+
+    @contextmanager
+    def batch(self) -> Iterator["ResultStore"]:
+        """Open-once append context: every :meth:`append` inside shares
+        one file handle (flushed on exit) instead of reopening the file
+        per record.  This is the executor's write-back path; reentrant
+        (a nested batch reuses the outer handle).
+        """
+        if self._batch_fh is not None:
+            yield self
+            return
+        with open(self.path, "a") as fh:
+            self._batch_fh = fh
+            try:
+                yield self
+            finally:
+                self._batch_fh = None
+                fh.flush()
 
     def append_run(self, result: RunResult, **tags: Any) -> Dict[str, Any]:
         """Archive a scenario run (validated against the run schema)."""
@@ -76,7 +106,13 @@ class ResultStore:
         where: Optional[Callable[[Dict[str, Any]], bool]] = None,
         **tag_filters: Any,
     ) -> Iterator[Dict[str, Any]]:
-        """Yield records matching the filters (missing file = empty)."""
+        """Yield records matching the filters (missing file = empty).
+
+        A line that fails to parse -- typically the final line of a
+        store whose writer was killed mid-append -- is skipped and
+        counted on ``storage.corrupt_lines`` instead of poisoning every
+        subsequent load of the archive.
+        """
         if not os.path.exists(self.path):
             return
         with open(self.path) as fh:
@@ -84,7 +120,14 @@ class ResultStore:
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self._corrupt_lines.inc()
+                    continue
+                if not isinstance(record, dict):
+                    self._corrupt_lines.inc()
+                    continue
                 if kind is not None and record.get("kind") != kind:
                     continue
                 tags = record.get("tags", {})

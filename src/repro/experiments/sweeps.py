@@ -7,25 +7,28 @@ single engine:
 * a :class:`SweepSpec` names one config field and its values (grid
   sweeps compose several specs);
 * :func:`run_sweep` executes the cartesian grid, optionally across
-  repetitions, optionally on multiple worker processes (each point is
-  an independent simulation -- embarrassingly parallel, the HPC story
-  of this package);
-* results come back as :class:`SweepPointResult` rows with the metrics
-  the figures need, ready for `experiments.report.render_table`.
+  repetitions, through the
+  :class:`~repro.experiments.executor.ExperimentExecutor` -- the grid
+  is flattened into per-(point, repetition) jobs, so repetitions
+  parallelize too (each run is an independent simulation --
+  embarrassingly parallel, the HPC story of this package) and a cache
+  makes re-swept points O(1) lookups;
+* results come back as :class:`SweepPointResult` rows in grid order
+  with the metrics the figures need, ready for
+  `experiments.report.render_table`.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..parallel import default_chunksize
 from ..scenarios.config import ScenarioConfig
-from ..scenarios.runner import run_scenario
+from ..scenarios.runner import RunResult
+from .executor import ExperimentExecutor
 
 __all__ = ["SweepSpec", "SweepPointResult", "sweep_grid", "run_sweep"]
 
@@ -87,10 +90,10 @@ def sweep_grid(specs: Sequence[SweepSpec]) -> List[Dict[str, Any]]:
     return grid
 
 
-def _run_point(args: Tuple[ScenarioConfig, Dict[str, Any], int]) -> SweepPointResult:
-    base, overrides, reps = args
-    cfg0 = base.with_(**overrides)
-    runs = [run_scenario(cfg0.for_repetition(r)) for r in range(reps)]
+def _aggregate_point(
+    overrides: Dict[str, Any], runs: Sequence[RunResult]
+) -> SweepPointResult:
+    """Fold one grid point's repetitions into a :class:`SweepPointResult`."""
     answer_rates = []
     for r in runs:
         answered = sum(s.answered for s in r.file_stats)
@@ -99,7 +102,7 @@ def _run_point(args: Tuple[ScenarioConfig, Dict[str, Any], int]) -> SweepPointRe
     fams = runs[0].totals.keys()
     return SweepPointResult(
         point=dict(overrides),
-        reps=reps,
+        reps=len(runs),
         totals={f: float(np.mean([r.totals[f] for r in runs])) for f in fams},
         mean_degree=float(np.mean([r.overlay_stats["mean_degree"] for r in runs])),
         answer_rate=float(np.mean(answer_rates)),
@@ -116,6 +119,8 @@ def run_sweep(
     processes: Optional[int] = None,
     chunksize: Optional[int] = None,
     store=None,
+    cache=None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[SweepPointResult]:
     """Run the grid defined by ``specs`` on top of ``base``.
 
@@ -128,13 +133,15 @@ def run_sweep(
     reps:
         Repetitions per point (seed offsets, like the paper's 33).
     processes:
-        If given and > 1, distribute points over worker processes; each
-        point is an independent, deterministic simulation so results are
-        identical to the serial run.
+        If given and > 1, distribute the flattened (point, repetition)
+        jobs over that many worker processes (``0``: every core); each
+        job is an independent, deterministic simulation so results are
+        identical to the serial run.  Repetitions parallelize like grid
+        points do -- a 1-point, 33-rep sweep fills the pool.
     chunksize:
-        Grid points submitted to each worker per round trip.  Defaults
-        to :func:`repro.parallel.default_chunksize` --
-        ``ceil(len(grid) / (4 * processes))`` capped at 32 -- so large
+        Jobs submitted to each worker per round trip.  Defaults to
+        :func:`repro.parallel.default_chunksize` --
+        ``ceil(n_jobs / (4 * processes))`` capped at 32 -- so large
         grids of small points amortize pickling instead of shipping
         one-at-a-time, while keeping ~4 rounds per worker for load
         balance (the same policy the analytics engine uses for its BFS
@@ -143,20 +150,29 @@ def run_sweep(
         Optional :class:`~repro.experiments.storage.ResultStore`; each
         point result is appended as a ``sweep_point`` record (from the
         coordinating process -- workers never write).
+    cache:
+        Optional :class:`~repro.experiments.cache.RunCache` (or store /
+        ndjson path) memoizing every completed run, making re-swept
+        points O(1) lookups and interrupted sweeps resumable.
+    executor:
+        Bring-your-own :class:`ExperimentExecutor` (overrides
+        ``processes`` / ``chunksize`` / ``cache``); lets several sweeps
+        share one memo and its counters.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     grid = sweep_grid(specs)
-    jobs = [(base, overrides, reps) for overrides in grid]
-    if processes is not None and processes > 1:
-        if chunksize is None:
-            chunksize = default_chunksize(len(jobs), processes)
-        if chunksize < 1:
-            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            results = list(pool.map(_run_point, jobs, chunksize=chunksize))
-    else:
-        results = [_run_point(job) for job in jobs]
+    if executor is None:
+        executor = ExperimentExecutor(
+            processes=processes, chunksize=chunksize, cache=cache
+        )
+    point_cfgs = [base.with_(**overrides) for overrides in grid]
+    batch = [cfg.for_repetition(r) for cfg in point_cfgs for r in range(reps)]
+    runs = executor.run_configs(batch)
+    results = [
+        _aggregate_point(overrides, runs[i * reps : (i + 1) * reps])
+        for i, overrides in enumerate(grid)
+    ]
     if store is not None:
         for point in results:
             store.append("sweep_point", point.to_dict(), reps=reps)

@@ -74,6 +74,61 @@ class TestReproduceCommand:
         assert (tmp_path / "res" / "SUMMARY.md").exists()
 
 
+class TestOrchestrationFlags:
+    def test_reproduce_resume_reuses_cache(self, tmp_path, capsys):
+        out1 = str(tmp_path / "a")
+        out2 = str(tmp_path / "b")
+        base = ["--figures", "fig7", "--duration", "40", "--reps", "1"]
+        assert main(["reproduce", "--out", out1] + base + ["--resume"]) == 0
+        cache = str(tmp_path / "a" / "runs.ndjson")
+        import os
+
+        assert os.path.exists(cache)
+        capsys.readouterr()
+        assert (
+            main(["reproduce", "--out", out2] + base + ["--cache", cache]) == 0
+        )
+        assert "cache hits" in capsys.readouterr().out
+        a = open(os.path.join(out1, "fig7.json")).read()
+        b = open(os.path.join(out2, "fig7.json")).read()
+        assert a == b
+
+    def test_reproduce_processes_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "res")
+        args = [
+            "reproduce", "--out", out, "--figures", "fig7",
+            "--duration", "40", "--reps", "2", "--processes", "2",
+        ]
+        assert main(args) == 0
+        assert "artifacts written" in capsys.readouterr().out
+
+    def test_sweep_resume_needs_store_or_cache(self, capsys):
+        rc = main(["sweep", "nodes", "10", "--duration", "30", "--resume"])
+        assert rc == 2
+        assert "--resume needs" in capsys.readouterr().err
+
+    def test_sweep_cache_flag(self, tmp_path, capsys):
+        cache = str(tmp_path / "c.ndjson")
+        args = ["sweep", "nodes", "10", "--duration", "30", "--cache", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # warm: served from the cache
+        assert capsys.readouterr().out == first
+        import os
+
+        assert os.path.exists(cache)
+
+    def test_figure_policy_flags(self, capsys):
+        args = [
+            "figure", "fig11", "--duration", "40", "--reps", "1",
+            "--rebroadcast", "counter:2", "--query-policy", "contact",
+            "--json",
+        ]
+        assert main(args) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["exp_id"] == "fig11"
+
+
 class TestRunStats:
     ARGS = ["run", "--nodes", "12", "--duration", "40"]
 

@@ -1,0 +1,114 @@
+"""Tests for the deduplicating, cache-aware experiment executor."""
+
+import pytest
+
+from repro.experiments import ExperimentExecutor, RunCache, figure_configs, run_figure
+from repro.experiments.export import figure_result_to_json
+from repro.obs.registry import Registry
+from repro.scenarios import ScenarioConfig
+
+#: lanes must agree over several seeds, not just the lucky one
+EQUIVALENCE_SEEDS = (1, 2, 3)
+
+CFG = ScenarioConfig(num_nodes=12, duration=60.0, seed=0)
+
+
+def _executor(**kw):
+    kw.setdefault("registry", Registry())
+    return ExperimentExecutor(**kw)
+
+
+class TestValidation:
+    def test_negative_processes_rejected(self):
+        with pytest.raises(ValueError):
+            _executor(processes=-1)
+
+    def test_bad_chunksize_rejected_when_pooled(self):
+        with pytest.raises(ValueError):
+            _executor(processes=2, chunksize=0)
+
+    def test_chunksize_ignored_when_serial(self):
+        ex = _executor(chunksize=0)
+        assert ex.processes == 1
+
+    def test_zero_means_all_cores(self):
+        assert _executor(processes=0).processes >= 1
+
+
+class TestDedup:
+    def test_batch_dedup(self):
+        ex = _executor()
+        runs = ex.run_configs([CFG, CFG.with_(seed=1), CFG])
+        assert len(runs) == 3
+        assert runs[0] is runs[2]
+        assert ex.stats()["jobs_executed"] == 2
+        assert ex.stats()["jobs_deduped"] == 1
+
+    def test_memo_spans_batches(self):
+        ex = _executor()
+        first = ex.run_config(CFG)
+        again = ex.run_config(CFG)
+        assert again is first
+        assert ex.stats()["jobs_executed"] == 1
+        # cross-batch reuse is a memo hit, not a dedup event
+        assert ex.stats()["jobs_deduped"] == 0
+
+    def test_figures_5_7_9_11_share_runs(self):
+        # Figures 5/7/9/11 harvest different series from identical
+        # configs -- one prefetched batch must execute each run once.
+        settings = dict(duration=30.0, reps=1, seed=0)
+        batch = [
+            c
+            for fid in ("fig5", "fig7", "fig9", "fig11")
+            for c in figure_configs(fid, **settings)
+        ]
+        ex = _executor()
+        runs = ex.run_configs(batch)
+        assert len(runs) == 16
+        assert ex.stats()["jobs_executed"] == 4
+        assert ex.stats()["jobs_deduped"] == 12
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+    def test_parallel_bit_identical_to_serial(self, seed):
+        serial = run_figure("fig7", duration=40.0, reps=2, seed=seed)
+        parallel = run_figure(
+            "fig7", duration=40.0, reps=2, seed=seed,
+            executor=_executor(processes=2),
+        )
+        assert figure_result_to_json(parallel) == figure_result_to_json(serial)
+
+    @pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+    def test_cached_bit_identical_to_serial(self, seed, tmp_path):
+        serial = run_figure("fig5", duration=40.0, reps=1, seed=seed)
+        cache_path = str(tmp_path / "runs.ndjson")
+        cold = run_figure(
+            "fig5", duration=40.0, reps=1, seed=seed,
+            executor=_executor(cache=RunCache(cache_path, registry=Registry())),
+        )
+        warm_ex = _executor(cache=RunCache(cache_path, registry=Registry()))
+        warm = run_figure(
+            "fig5", duration=40.0, reps=1, seed=seed, executor=warm_ex
+        )
+        assert figure_result_to_json(cold) == figure_result_to_json(serial)
+        assert figure_result_to_json(warm) == figure_result_to_json(serial)
+        assert warm_ex.stats()["jobs_executed"] == 0
+        assert warm_ex.stats()["cache_hits"] == 4
+
+
+class TestCacheIntegration:
+    def test_write_back_then_resume(self, tmp_path):
+        cache_path = str(tmp_path / "runs.ndjson")
+        ex = _executor(cache=cache_path)
+        ex.run_configs([CFG, CFG.with_(seed=1)])
+        # a fresh executor (fresh process) over the same archive
+        ex2 = _executor(cache=cache_path)
+        ex2.run_configs([CFG, CFG.with_(seed=1), CFG.with_(seed=2)])
+        stats = ex2.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["jobs_executed"] == 1
+
+    def test_path_coerced_to_cache(self, tmp_path):
+        ex = _executor(cache=str(tmp_path / "c.ndjson"))
+        assert isinstance(ex.cache, RunCache)

@@ -5,7 +5,8 @@ import os
 
 import pytest
 
-from repro.experiments import reproduce_all
+from repro.experiments import ExperimentExecutor, RunCache, reproduce_all
+from repro.obs.registry import Registry
 
 
 class TestReproduceAll:
@@ -43,3 +44,40 @@ class TestReproduceAll:
             progress=lines.append,
         )
         assert any("fig7" in line for line in lines)
+
+    def test_shared_figures_run_once(self, tmp_path):
+        # fig5 and fig7 harvest different series from the same runs; the
+        # prefetched batch must execute each underlying run exactly once.
+        ex = ExperimentExecutor(registry=Registry())
+        reproduce_all(
+            str(tmp_path / "r"),
+            figures=["fig5", "fig7"],
+            duration=60.0,
+            reps=1,
+            executor=ex,
+        )
+        assert ex.stats()["jobs_executed"] == 4
+        assert ex.stats()["jobs_deduped"] == 4
+
+    def test_warm_cache_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "runs.ndjson")
+        out_cold = str(tmp_path / "cold")
+        out_warm = str(tmp_path / "warm")
+        cold_ex = ExperimentExecutor(
+            cache=RunCache(cache, registry=Registry()), registry=Registry()
+        )
+        warm_ex = ExperimentExecutor(
+            cache=RunCache(cache, registry=Registry()), registry=Registry()
+        )
+        reproduce_all(
+            out_cold, figures=["fig7"], duration=60.0, reps=1, executor=cold_ex
+        )
+        reproduce_all(
+            out_warm, figures=["fig7"], duration=60.0, reps=1, executor=warm_ex
+        )
+        assert warm_ex.stats()["jobs_executed"] == 0
+        assert warm_ex.stats()["cache_hits"] == 4
+        for name in ("fig7.json", "fig7.csv", "fig7.txt"):
+            a = open(os.path.join(out_cold, name)).read()
+            b = open(os.path.join(out_warm, name)).read()
+            assert a == b, name

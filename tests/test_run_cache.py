@@ -1,0 +1,124 @@
+"""Tests for the content-addressed run cache."""
+
+import pytest
+
+from repro.experiments import ResultStore, RunCache, run_key
+from repro.obs.registry import Registry
+from repro.obs.schema import RUN_SCHEMA_VERSION
+from repro.scenarios import ScenarioConfig, run_scenario
+
+CFG = ScenarioConfig(num_nodes=12, duration=60.0, seed=4)
+
+
+class TestRunKey:
+    def test_format(self):
+        key = run_key(CFG)
+        version, sha, seed = key.split(":")
+        assert version == f"v{RUN_SCHEMA_VERSION}"
+        assert len(sha) == 64
+        assert seed == "4"
+
+    def test_deterministic(self):
+        assert run_key(CFG) == run_key(ScenarioConfig(num_nodes=12, duration=60.0, seed=4))
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"num_nodes": 13},
+            {"duration": 61.0},
+            {"seed": 5},
+            {"algorithm": "hybrid"},
+            {"routing": "dsdv"},
+            {"rebroadcast": "counter:2"},
+            {"rebroadcast": "probabilistic:0.7"},
+            {"query_policy": "contact"},
+            {"queue": "heap"},
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert run_key(CFG.with_(**change)) != run_key(CFG)
+
+    def test_schema_version_changes_key(self):
+        assert run_key(CFG, schema_version=RUN_SCHEMA_VERSION + 1) != run_key(CFG)
+
+
+class TestRunCache:
+    def _cache(self, tmp_path, **kw):
+        return RunCache(str(tmp_path / "runs.ndjson"), registry=Registry(), **kw)
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = self._cache(tmp_path)
+        assert cache.get(CFG) is None
+        assert cache.misses.value == 1
+        result = run_scenario(CFG)
+        cache.put(CFG, result)
+        got = cache.get(CFG)
+        assert got is not None
+        assert cache.hits.value == 1
+        assert got.totals == result.totals
+        assert got.events == result.events
+
+    def test_hit_survives_process_restart(self, tmp_path):
+        cache = self._cache(tmp_path)
+        cache.put(CFG, run_scenario(CFG))
+        # a fresh instance over the same archive = a new process
+        warm = self._cache(tmp_path)
+        assert CFG in warm
+        assert warm.get(CFG) is not None
+        assert warm.hits.value == 1
+
+    def test_config_change_misses(self, tmp_path):
+        cache = self._cache(tmp_path)
+        cache.put(CFG, run_scenario(CFG))
+        assert cache.get(CFG.with_(rebroadcast="counter:2")) is None
+        assert cache.get(CFG.with_(seed=5)) is None
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cache = self._cache(tmp_path)
+        cache.put(CFG, run_scenario(CFG))
+        bumped = RunCache(
+            cache.store.path,
+            registry=Registry(),
+            schema_version=RUN_SCHEMA_VERSION + 1,
+        )
+        assert bumped.get(CFG) is None
+
+    def test_put_idempotent(self, tmp_path):
+        cache = self._cache(tmp_path)
+        result = run_scenario(CFG)
+        cache.put(CFG, result)
+        cache.put(CFG, result)
+        assert len(cache) == 1
+        assert len(cache.store.load(kind="run")) == 1
+
+    def test_accepts_store_instance(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.ndjson"), registry=Registry())
+        cache = RunCache(store, registry=Registry())
+        cache.put(CFG, run_scenario(CFG))
+        assert cache.store is store
+
+    def test_resume_after_kill(self, tmp_path):
+        # A writer killed mid-append leaves a truncated final line; the
+        # completed entries before it must still be served.
+        registry = Registry()
+        cache = RunCache(str(tmp_path / "runs.ndjson"), registry=registry)
+        other = CFG.with_(seed=5)
+        cache.put(CFG, run_scenario(CFG))
+        cache.put(other, run_scenario(other))
+        raw = open(cache.store.path).read().rstrip("\n")
+        with open(cache.store.path, "w") as fh:
+            fh.write(raw[: len(raw) - len(raw.splitlines()[-1]) // 2])
+        resumed = RunCache(cache.store.path, registry=registry)
+        assert resumed.get(CFG) is not None
+        assert resumed.get(other) is None
+        assert registry.counter("storage.corrupt_lines").value == 1
+
+    def test_refresh_rereads(self, tmp_path):
+        cache = self._cache(tmp_path)
+        assert len(cache) == 0
+        # another writer appends behind our back
+        writer = RunCache(cache.store.path, registry=Registry())
+        writer.put(CFG, run_scenario(CFG))
+        assert len(cache) == 0  # stale index
+        cache.refresh()
+        assert len(cache) == 1

@@ -59,6 +59,61 @@ class TestResultStore:
             json.loads(line)
 
 
+class TestCorruptLines:
+    def test_truncated_final_line_skipped_and_counted(self, tmp_path):
+        from repro.obs.registry import Registry
+
+        registry = Registry()
+        store = ResultStore(str(tmp_path / "r.ndjson"), registry=registry)
+        store.append("note", {"x": 1})
+        store.append("note", {"x": 2})
+        # chop the final line mid-record, as a killed writer would
+        raw = open(store.path).read()
+        with open(store.path, "w") as fh:
+            fh.write(raw[:-12])
+        loaded = store.load()
+        assert [r["payload"]["x"] for r in loaded] == [1]
+        assert registry.counter("storage.corrupt_lines").value == 1
+
+    def test_non_object_line_skipped(self, tmp_path):
+        from repro.obs.registry import Registry
+
+        registry = Registry()
+        store = ResultStore(str(tmp_path / "r.ndjson"), registry=registry)
+        store.append("note", {"x": 1})
+        with open(store.path, "a") as fh:
+            fh.write("[1, 2, 3]\n")
+            fh.write("not json at all\n")
+        assert len(store.load()) == 1
+        assert registry.counter("storage.corrupt_lines").value == 2
+
+
+class TestBatchAppend:
+    def test_batch_writes_every_record(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.ndjson"))
+        with store.batch():
+            for i in range(5):
+                store.append("note", {"i": i})
+        assert [r["payload"]["i"] for r in store.load()] == list(range(5))
+
+    def test_batch_reentrant(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.ndjson"))
+        with store.batch():
+            store.append("note", {"i": 0})
+            with store.batch():
+                store.append("note", {"i": 1})
+            # outer handle still open after the nested exit
+            store.append("note", {"i": 2})
+        assert len(store) == 3
+
+    def test_appends_outside_batch_still_work(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.ndjson"))
+        with store.batch():
+            store.append("note", {"i": 0})
+        store.append("note", {"i": 1})
+        assert len(store) == 2
+
+
 class TestKsTest:
     def test_identical_distributions_high_p(self):
         rng = np.random.default_rng(0)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.experiments import SweepSpec, run_sweep, sweep_grid
+from repro.experiments import ExperimentExecutor, SweepSpec, run_sweep, sweep_grid
+from repro.obs.registry import Registry
 from repro.scenarios import ScenarioConfig
 
 
@@ -102,3 +103,28 @@ class TestRunSweep:
             self.BASE, [SweepSpec("num_nodes", (10,))], chunksize=0
         )
         assert len(results) == 1
+
+    def test_reps_parallelize_identically(self):
+        # The grid x reps product flattens into per-run jobs, so a
+        # 1-point sweep still fills the pool -- with identical results.
+        specs = [SweepSpec("algorithm", ("basic", "regular"))]
+        serial = run_sweep(self.BASE, specs, reps=3)
+        parallel = run_sweep(self.BASE, specs, reps=3, processes=3)
+        assert [a.to_dict() for a in serial] == [b.to_dict() for b in parallel]
+
+    def test_cache_resumes_sweep(self, tmp_path):
+        cache = str(tmp_path / "runs.ndjson")
+        specs = [SweepSpec("num_nodes", (10, 12))]
+        cold = run_sweep(self.BASE, specs, reps=2, cache=cache)
+        ex = ExperimentExecutor(cache=cache, registry=Registry())
+        warm = run_sweep(self.BASE, specs, reps=2, executor=ex)
+        assert [a.to_dict() for a in cold] == [b.to_dict() for b in warm]
+        assert ex.stats()["jobs_executed"] == 0
+        assert ex.stats()["cache_hits"] == 4
+
+    def test_shared_executor_dedups_across_sweeps(self):
+        ex = ExperimentExecutor(registry=Registry())
+        specs = [SweepSpec("num_nodes", (10, 12))]
+        run_sweep(self.BASE, specs, reps=1, executor=ex)
+        run_sweep(self.BASE, specs, reps=1, executor=ex)
+        assert ex.stats()["jobs_executed"] == 2
